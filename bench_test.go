@@ -1,0 +1,145 @@
+// Package main's bench_test provides one testing.B benchmark per paper
+// table/figure, plus micro-benchmarks of the core kernels. The experiment
+// benchmarks run the same code as `ugrapher-bench <id>` in quick mode and
+// report the experiment's wall time per iteration; run the CLI for the full
+// tables. Regenerate everything with:
+//
+//	go test -bench=. -benchmem ./...
+package main
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+// benchExperiment runs a registered experiment in quick mode.
+func benchExperiment(b *testing.B, id string) {
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := bench.Options{Quick: true}
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1Heatmap(b *testing.B)            { benchExperiment(b, "fig1") }
+func BenchmarkTable2OperatorCensus(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkTable3Datasets(b *testing.B)         { benchExperiment(b, "table3") }
+func BenchmarkFig3DGLLimitations(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkTable4Representation(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkTable6Tradeoffs(b *testing.B)        { benchExperiment(b, "table6") }
+func BenchmarkFig7OptimalVaries(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkFig12Predictor(b *testing.B)         { benchExperiment(b, "fig12") }
+func BenchmarkFig13EndToEnd(b *testing.B)          { benchExperiment(b, "fig13") }
+func BenchmarkFig14PerModelSpeedup(b *testing.B)   { benchExperiment(b, "fig14") }
+func BenchmarkFig15PerDatasetSpeedup(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16Metrics(b *testing.B)           { benchExperiment(b, "fig16") }
+func BenchmarkFig17BasicVsTuned(b *testing.B)      { benchExperiment(b, "fig17") }
+func BenchmarkFig18GroupTileSweep(b *testing.B)    { benchExperiment(b, "fig18") }
+func BenchmarkTable9OptimalSchedules(b *testing.B) { benchExperiment(b, "table9") }
+func BenchmarkFig19Reordering(b *testing.B)        { benchExperiment(b, "fig19") }
+func BenchmarkFig2Imbalance(b *testing.B)          { benchExperiment(b, "fig2") }
+func BenchmarkTable8Setup(b *testing.B)            { benchExperiment(b, "table8") }
+func BenchmarkAblationSpace(b *testing.B)          { benchExperiment(b, "ablation-space") }
+func BenchmarkAblationSim(b *testing.B)            { benchExperiment(b, "ablation-sim") }
+func BenchmarkAblationPredictor(b *testing.B)      { benchExperiment(b, "ablation-predictor") }
+
+// --- micro-benchmarks of the library itself ---
+
+func benchGraph(b *testing.B, n, m int) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	bb := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		bb.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	g, err := bb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkFunctionalExecute measures the functional executor across the
+// four strategies (the kernel the examples and tests run).
+func BenchmarkFunctionalExecute(b *testing.B) {
+	g := benchGraph(b, 5000, 50000)
+	x := tensor.NewDense(5000, 64)
+	x.FillRandom(rand.New(rand.NewSource(2)), 1)
+	out := tensor.NewDense(5000, 64)
+	o := core.Operands{A: tensor.Src(x), B: tensor.NullTensor, C: tensor.Dst(out)}
+	for _, s := range core.Strategies {
+		s := s
+		b.Run(s.Code(), func(b *testing.B) {
+			p := core.MustCompile(ops.AggrSum, core.Schedule{Strategy: s, Group: 1, Tile: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Execute(g, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulate measures one simulator invocation per strategy — the
+// unit of work grid search multiplies.
+func BenchmarkSimulate(b *testing.B) {
+	g := benchGraph(b, 20000, 200000)
+	dev := gpu.V100()
+	for _, s := range core.Strategies {
+		s := s
+		b.Run(s.Code(), func(b *testing.B) {
+			p := core.MustCompile(ops.AggrSum, core.Schedule{Strategy: s, Group: 1, Tile: 1})
+			k := p.Kernel(g, 64, 64, 0, dev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gpu.Simulate(dev, k)
+			}
+		})
+	}
+}
+
+// BenchmarkGridSearch measures a full tuning pass on a mid-size graph.
+func BenchmarkGridSearch(b *testing.B) {
+	g := benchGraph(b, 20000, 200000)
+	task := schedule.Task{Graph: g, Op: ops.AggrSum, Feat: 64, ACols: 64, Device: gpu.V100()}
+	space := schedule.PrunedSpace(task)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := schedule.GridSearch(task, space, gpu.WithMaxSampledBlocks(48)); len(got) == 0 {
+			b.Fatal("empty search")
+		}
+	}
+}
+
+// BenchmarkCacheAccess isolates the cache model's hot loop.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := gpu.NewCache(6<<20, 128, 16)
+	rng := rand.New(rand.NewSource(3))
+	lines := make([]int64, 1<<16)
+	for i := range lines {
+		lines[i] = int64(rng.Intn(1 << 18))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(lines[i&(1<<16-1)])
+	}
+}

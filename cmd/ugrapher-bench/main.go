@@ -1,0 +1,88 @@
+// Command ugrapher-bench regenerates the paper's tables and figures on the
+// simulator substrate.
+//
+// Usage:
+//
+//	ugrapher-bench list                 # show available experiment ids
+//	ugrapher-bench fig13               # run one experiment
+//	ugrapher-bench all                 # run every experiment in paper order
+//	ugrapher-bench -quick -datasets CO,PR,AR fig1
+//
+// Output is aligned text, one table per experiment; EXPERIMENTS.md discusses
+// the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps (fewer datasets, coarser simulation)")
+	datasets := flag.String("datasets", "", "comma-separated dataset codes to restrict to (e.g. CO,PR,AR)")
+	sample := flag.Int("sample", 0, "simulator sampled blocks per kernel (0 = default)")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ugrapher-bench [flags] <experiment|all|list>\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+
+	opts := bench.Options{Quick: *quick, SampleBlocks: *sample}
+	if *datasets != "" {
+		opts.Datasets = strings.Split(*datasets, ",")
+	}
+
+	switch cmd {
+	case "list":
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	case "all":
+		for _, e := range bench.All() {
+			if err := runOne(e, opts, *csvOut); err != nil {
+				fmt.Fprintf(os.Stderr, "ugrapher-bench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+		return
+	default:
+		e, err := bench.ByID(cmd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runOne(e, opts, *csvOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ugrapher-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(e bench.Experiment, opts bench.Options, csvOut bool) error {
+	start := time.Now()
+	tab, err := e.Run(opts)
+	if err != nil {
+		return err
+	}
+	render := tab.Render
+	if csvOut {
+		render = tab.RenderCSV
+	}
+	if err := render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}

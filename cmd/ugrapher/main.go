@@ -1,0 +1,135 @@
+// Command ugrapher runs a single graph operator through the uGrapher
+// interface: pick a dataset (or load an edge list), an operator, a feature
+// width and optionally a schedule, and it reports the simulated metrics —
+// and, with -tune, the grid-search winner and the ranking of the space.
+//
+// Examples:
+//
+//	ugrapher -dataset CO -op u_mul_e.sum -feat 32
+//	ugrapher -dataset AR -op copy_u.max -feat 64 -schedule WE_G8_T1
+//	ugrapher -dataset SB -op u_add_v -feat 8 -tune -top 10
+//	ugrapher -graph edges.txt -op copy_u.sum -feat 16 -gpu A100 -source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/schedule"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "dataset code from Table 3 (CO, CI, PU, ...)")
+	graphFile := flag.String("graph", "", "edge-list file (header 'V E', then 'src dst' lines)")
+	opName := flag.String("op", "u_mul_e.sum", "operator: a DGL-style name from the registry (copy_u, u_add_v, u_mul_e.sum, copy_e.max, ...)")
+	feat := flag.Int("feat", 32, "feature width of the operator")
+	gpuName := flag.String("gpu", "V100", "device: V100 or A100")
+	schedText := flag.String("schedule", "", "schedule like WE_G8_T4 (empty = tune automatically)")
+	tune := flag.Bool("tune", false, "grid-search the schedule space and report the ranking")
+	top := flag.Int("top", 5, "with -tune: how many candidates to print")
+	source := flag.Bool("source", false, "print the generated kernel source")
+	flag.Parse()
+
+	if err := run(*dataset, *graphFile, *opName, *feat, *gpuName, *schedText, *tune, *top, *source); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, graphFile, opName string, feat int, gpuName, schedText string, tune bool, top int, source bool) error {
+	var g *graph.Graph
+	switch {
+	case dataset != "":
+		loaded, _, err := datasets.Load(dataset)
+		if err != nil {
+			return err
+		}
+		g = loaded
+	case graphFile != "":
+		f, err := os.Open(graphFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = graph.ReadEdgeList(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -dataset or -graph")
+	}
+
+	entry, ok := ops.Lookup(opName)
+	if !ok {
+		return fmt.Errorf("unknown operator %q (see ops registry; e.g. u_mul_e.sum)", opName)
+	}
+	dev := gpu.V100()
+	if gpuName == "A100" {
+		dev = gpu.A100()
+	}
+	st := g.ComputeStats()
+	fmt.Printf("graph: |V|=%d |E|=%d mean-degree=%.1f std=%.1f\n",
+		st.NumVertices, st.NumEdges, st.MeanInDegree, st.StdInDegree)
+	fmt.Printf("operator: %s (%s)\n", entry.DGLName, entry.Info)
+
+	task := schedule.Task{Graph: g, Op: entry.Info, Feat: feat, Device: dev}.Widths(false)
+
+	report := func(label string, c schedule.Candidate) {
+		m := c.Metrics
+		fmt.Printf("%s %-12s cycles=%.0f occupancy=%.2f sm_eff=%.2f l1=%.2f l2=%.2f blocks=%d atomics=%.0f bound=%s\n",
+			label, c.Schedule, m.Cycles, m.Occupancy, m.SMEfficiency,
+			m.L1HitRate, m.L2HitRate, m.NumBlocks, m.AtomicTransactions, m.BoundBy)
+	}
+
+	if schedText != "" {
+		sched, err := core.ParseSchedule(schedText)
+		if err != nil {
+			return err
+		}
+		c, err := schedule.Evaluate(task, sched)
+		if err != nil {
+			return err
+		}
+		report("run:", c)
+		if source {
+			printSource(entry.Info, sched)
+		}
+		if !tune {
+			return nil
+		}
+	}
+
+	cands := schedule.GridSearch(task, schedule.PrunedSpace(task))
+	if len(cands) == 0 {
+		return fmt.Errorf("no valid schedules for this operator")
+	}
+	fmt.Printf("\ntuned over %d schedules on %s:\n", len(cands), dev.Name)
+	n := top
+	if n > len(cands) {
+		n = len(cands)
+	}
+	for i := 0; i < n; i++ {
+		report(fmt.Sprintf("#%-2d", i+1), cands[i])
+	}
+	worst := cands[len(cands)-1]
+	fmt.Printf("worst %-11s cycles=%.0f (%.1fx the best)\n",
+		worst.Schedule, worst.Metrics.Cycles, worst.Metrics.Cycles/cands[0].Metrics.Cycles)
+	if source {
+		printSource(entry.Info, cands[0].Schedule)
+	}
+	return nil
+}
+
+func printSource(op ops.OpInfo, sched core.Schedule) {
+	plan, err := core.Compile(op, sched)
+	if err != nil {
+		return
+	}
+	fmt.Printf("\ngenerated kernel:\n%s\n", plan.GenerateSource())
+}

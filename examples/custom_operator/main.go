@@ -1,0 +1,88 @@
+// custom_operator demonstrates the paper's scalability claim (Table 1):
+// supporting a brand-new graph operator requires only its op_info — no
+// handwritten kernel, no template. We define an operator that no model in
+// this repo uses (edge-weighted feature difference, min-reduced: a
+// nearest-discrepancy operator), get generated kernels for every strategy,
+// verify them against the reference loop, and tune it.
+//
+//	go run ./examples/custom_operator
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+func main() {
+	// The new operator, described entirely by op_info: for each edge,
+	// subtract the destination's features from the source's, then keep the
+	// per-feature minimum over each vertex's incoming edges.
+	myOp := ops.OpInfo{
+		Name:     "u_sub_v.min",
+		EdgeOp:   ops.EdgeSub,
+		GatherOp: ops.GatherMin,
+		AKind:    tensor.SrcV,
+		BKind:    tensor.DstV,
+		CKind:    tensor.DstV,
+	}
+	if err := myOp.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	cls, _ := myOp.Class()
+	fmt.Printf("new operator %s classified as: %s\n\n", myOp, cls)
+
+	rng := rand.New(rand.NewSource(99))
+	b := graph.NewBuilder(500)
+	for i := 0; i < 4000; i++ {
+		b.AddEdge(int32(rng.Intn(500)), int32(rng.Intn(500)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	const feat = 32
+	x := tensor.NewDense(500, feat)
+	x.FillRandom(rng, 1)
+
+	// Reference result from the canonical nested loop.
+	ref := tensor.NewDense(500, feat)
+	if err := core.Reference(g, myOp, core.Operands{
+		A: tensor.Src(x), B: tensor.Typed{Kind: tensor.DstV, T: x}, C: tensor.Dst(ref),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Every strategy executes the new operator correctly, immediately.
+	dev := gpu.V100()
+	for _, strat := range core.Strategies {
+		out := tensor.NewDense(500, feat)
+		sched := core.Schedule{Strategy: strat, Group: 2, Tile: 1}
+		res, err := core.Run(g, myOp, core.Operands{
+			A: tensor.Src(x), B: tensor.Typed{Kind: tensor.DstV, T: x}, C: tensor.Dst(out),
+		}, sched, dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s matches reference: %-5v  cycles=%.0f\n",
+			sched, out.AllClose(ref, 1e-4, 1e-4), res.Metrics.Cycles)
+	}
+
+	// And it is tunable like any built-in.
+	task := schedule.Task{Graph: g, Op: myOp, Feat: feat, ACols: feat, BCols: feat, Device: dev}
+	best, ok := schedule.Best(task, schedule.PrunedSpace(task))
+	if !ok {
+		log.Fatal("tuning failed")
+	}
+	fmt.Printf("\ntuned schedule: %s (%.0f cycles)\n", best.Schedule, best.Metrics.Cycles)
+
+	plan := core.MustCompile(myOp, best.Schedule)
+	fmt.Printf("\ngenerated kernel (no handwritten CUDA needed):\n%s\n", plan.GenerateSource())
+}

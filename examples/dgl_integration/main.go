@@ -1,0 +1,89 @@
+// dgl_integration mirrors the paper's Fig. 11: a GCN layer written against
+// the DGL-style message-passing interface, with uGrapher silently replacing
+// the static kernels underneath. Compare with Fig. 10 — user code keeps the
+// same shape; only the backend changes.
+//
+//	go run ./examples/dgl_integration
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/datasets"
+	"repro/internal/dglcompat"
+	"repro/internal/tensor"
+)
+
+func main() {
+	g, spec, err := datasets.Load("CI") // citeseer
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: |V|=%d |E|=%d\n\n", spec.Name, g.NumVertices(), g.NumEdges())
+
+	// graph = dgl.graph(...); graph.srcdata['h'] = h
+	wrapped := dglcompat.Wrap(g, nil)
+	rng := rand.New(rand.NewSource(1))
+	h := tensor.NewDense(g.NumVertices(), 16)
+	h.FillRandom(rng, 1)
+	if err := wrapped.SetNData("h", h); err != nil {
+		log.Fatal(err)
+	}
+	// graph.edata['_edge_weight'] = edge_weight
+	ew := tensor.NewDense(g.NumEdges(), 1)
+	ew.Fill(0.5)
+	if err := wrapped.SetEData("_edge_weight", ew); err != nil {
+		log.Fatal(err)
+	}
+
+	// uGrapher.update_all(graph, fn.u_mul_e('h','_edge_weight','m'),
+	//                            fn.sum(msg='m', out='rst'))
+	msg, err := dglcompat.Binary("u_mul_e", "h", "_edge_weight", "m")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reduce, err := dglcompat.Reduce("sum", "m", "rst")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, err := wrapped.UpdateAll(msg, reduce)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rst, _ := wrapped.NData("rst")
+	fmt.Printf("update_all(u_mul_e, sum) ran in %.0f simulated cycles\n", metrics.Cycles)
+	fmt.Printf("  occupancy=%.2f sm_eff=%.2f l2_hit=%.2f\n",
+		metrics.Occupancy, metrics.SMEfficiency, metrics.L2HitRate)
+	fmt.Printf("  rst shape: %dx%d; rst[0][0..2] = %.3f %.3f %.3f\n\n",
+		rst.Rows, rst.Cols, rst.At(0, 0), rst.At(0, 1), rst.At(0, 2))
+
+	// apply_edges(u_add_v) — GAT's attention message creation.
+	if err := wrapped.SetNData("el", hSlice(h, 8)); err != nil {
+		log.Fatal(err)
+	}
+	attn, err := dglcompat.Binary("u_add_v", "el", "el", "logits")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, err = wrapped.ApplyEdges(attn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logits, _ := wrapped.EData("logits")
+	fmt.Printf("apply_edges(u_add_v) ran in %.0f simulated cycles; logits shape %dx%d\n",
+		metrics.Cycles, logits.Rows, logits.Cols)
+	fmt.Println("\nuser code kept DGL's update_all/apply_edges shape throughout;")
+	fmt.Println("the schedule of each operator was tuned automatically underneath.")
+}
+
+// hSlice takes the first cols columns of t as a new tensor.
+func hSlice(t *tensor.Dense, cols int) *tensor.Dense {
+	out := tensor.NewDense(t.Rows, cols)
+	for r := 0; r < t.Rows; r++ {
+		copy(out.Row(r), t.Row(r)[:cols])
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// minibatch demonstrates the paper's §6 "Batchsize" point: mini-batch
+// inference samples a neighbourhood subgraph and then runs the exact same
+// uGrapher graph operators on it — sampling and scheduling compose, and the
+// optimal schedule can differ between the full graph and the batch.
+//
+//	go run ./examples/minibatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gpu"
+	"repro/internal/ops"
+	"repro/internal/sample"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+func main() {
+	g, _, err := datasets.Load("AM06") // amazon0601: 403K vertices
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := gpu.V100()
+	rng := rand.New(rand.NewSource(11))
+
+	// A 512-seed batch with 2-hop fanout-10 sampling (GraphSage style).
+	seeds := make([]int32, 512)
+	for i := range seeds {
+		seeds[i] = int32(rng.Intn(g.NumVertices()))
+	}
+	sub, err := sample.NeighborSample(g, seeds, 2, 10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full graph: |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("sampled batch: |V|=%d |E|=%d (seeds=512, hops=2, fanout=10)\n\n",
+		sub.Graph.NumVertices(), sub.Graph.NumEdges())
+
+	// Slice the parent features into batch order and run the aggregation on
+	// the subgraph through the tuned uGrapher interface.
+	feat := 64
+	parentX := tensor.NewDense(g.NumVertices(), feat)
+	parentX.FillRandom(rng, 1)
+	batchX := tensor.FromSlice(sub.Graph.NumVertices(), feat,
+		sample.GatherRows(parentX.Data, feat, sub.Vertices))
+	out := tensor.NewDense(sub.Graph.NumVertices(), feat)
+
+	batchTask := schedule.Task{Graph: sub.Graph, Op: ops.AggrMean, Feat: feat, ACols: feat, Device: dev}
+	fullTask := schedule.Task{Graph: g, Op: ops.AggrMean, Feat: feat, ACols: feat, Device: dev}
+	batchBest, _ := schedule.Best(batchTask, schedule.PrunedSpace(batchTask))
+	fullBest, _ := schedule.Best(fullTask, schedule.PrunedSpace(fullTask))
+	fmt.Printf("tuned schedule on the batch:      %s (%.0f cycles)\n",
+		batchBest.Schedule, batchBest.Metrics.Cycles)
+	fmt.Printf("tuned schedule on the full graph: %s (%.0f cycles)\n\n",
+		fullBest.Schedule, fullBest.Metrics.Cycles)
+
+	if _, err := core.Run(sub.Graph, ops.AggrMean, core.Operands{
+		A: tensor.Src(batchX), B: tensor.NullTensor, C: tensor.Dst(out),
+	}, batchBest.Schedule, dev); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch aggregation done; row 0 -> parent vertex %d, out[0][0..2] = %.3f %.3f %.3f\n",
+		sub.ParentVertex(0), out.At(0, 0), out.At(0, 1), out.At(0, 2))
+	if batchBest.Schedule != fullBest.Schedule {
+		fmt.Println("\nthe batch's optimal schedule differs from the full graph's —")
+		fmt.Println("adaptive selection matters in both regimes.")
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationSpace(t *testing.T) {
+	tab := runQuick(t, "ablation-space")
+	for _, row := range tab.Rows {
+		// Every restricted subspace is at best equal to the full space.
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			if v < 0.999 {
+				t.Errorf("subspace beats the full space: %v", row)
+			}
+		}
+		full, _ := strconv.ParseFloat(row[4], 64)
+		if full != 1.00 {
+			t.Errorf("full-space column must normalize to 1.00: %v", row)
+		}
+	}
+}
+
+func TestAblationSim(t *testing.T) {
+	tab := runQuick(t, "ablation-sim")
+	stable := 0
+	for _, row := range tab.Rows {
+		if row[len(row)-1] == "true" {
+			stable++
+		}
+	}
+	if stable == 0 {
+		t.Error("no dataset had fidelity-stable tuning; sampling design broken")
+	}
+}
+
+func TestAblationPredictor(t *testing.T) {
+	tab := runQuick(t, "ablation-predictor")
+	vals := map[string]float64{}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[2])
+		}
+		vals[row[0]] = v
+	}
+	if vals["all"] > 2.5 {
+		t.Errorf("full-featured predictor pick/optimal = %.2f; too weak", vals["all"])
+	}
+	if vals["no-schedule"] < vals["all"]*1.02 {
+		t.Errorf("removing schedule features should hurt ranking: all=%.2f no-schedule=%.2f",
+			vals["all"], vals["no-schedule"])
+	}
+}
+
+func TestExtTraining(t *testing.T) {
+	tab := runQuick(t, "ext-training")
+	for _, row := range tab.Rows {
+		sp, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[2])
+		}
+		if sp < 1.0 {
+			t.Errorf("%s/%s: uGrapher training slower than DGL (%.2f)", row[0], row[1], sp)
+		}
+		bwd, _ := strconv.ParseFloat(row[5], 64)
+		if bwd <= 0 {
+			t.Errorf("%s/%s: backward share %.2f should be positive", row[0], row[1], bwd)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseSpeedup(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad speedup cell %q", cell)
+	}
+	return v
+}
+
+func TestFig13UGrapherNearBest(t *testing.T) {
+	tab := runQuick(t, "fig13")
+	for _, row := range tab.Rows {
+		ug, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatalf("bad uGrapher cell %q", row[len(row)-1])
+		}
+		if ug > 1.10 {
+			t.Errorf("uGrapher normalized time %.2f on %v; should be at or near 1.00", ug, row[:3])
+		}
+	}
+}
+
+func TestFig14SpeedupsPositive(t *testing.T) {
+	tab := runQuick(t, "fig14")
+	var geoRow []string
+	smaxVsDGL, gcnVsDGL := 0.0, 0.0
+	for _, row := range tab.Rows {
+		if row[1] == "GEOMEAN" {
+			geoRow = row
+		}
+		if row[1] == "SMax" {
+			smaxVsDGL = parseSpeedup(t, row[2])
+		}
+		if row[1] == "GCN" {
+			gcnVsDGL = parseSpeedup(t, row[2])
+		}
+	}
+	if geoRow == nil {
+		t.Fatal("missing GEOMEAN row")
+	}
+	for _, cell := range geoRow[2:] {
+		if cell == "-" {
+			continue
+		}
+		if v := parseSpeedup(t, cell); v < 1.0 {
+			t.Errorf("overall speedup %v < 1", cell)
+		}
+	}
+	// Paper: SageMax's speedup is smaller than GCN's (GEMM-heavy model).
+	if smaxVsDGL == 0 || gcnVsDGL == 0 {
+		t.Fatal("missing per-model rows")
+	}
+	if smaxVsDGL >= gcnVsDGL {
+		t.Errorf("SMax speedup %.2f should be below GCN's %.2f (GEMM share)", smaxVsDGL, gcnVsDGL)
+	}
+}
+
+func TestFig15PerDataset(t *testing.T) {
+	tab := runQuick(t, "fig15")
+	found := 0
+	for _, row := range tab.Rows {
+		if row[1] == "GEOMEAN" {
+			continue
+		}
+		found++
+		for _, cell := range row[2:] {
+			if cell == "-" {
+				continue
+			}
+			if v := parseSpeedup(t, cell); v < 0.9 {
+				t.Errorf("dataset %s: uGrapher materially slower than a baseline (%v)", row[1], cell)
+			}
+		}
+	}
+	if found < 3 {
+		t.Errorf("expected per-dataset rows, got %d", found)
+	}
+}
+
+func TestFig16UGrapherImprovesMetrics(t *testing.T) {
+	tab := runQuick(t, "fig16")
+	// Rows come in DGL/uGrapher pairs per dataset; uGrapher must win on
+	// cycles and not regress all three metrics at once.
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		dgl, ug := tab.Rows[i], tab.Rows[i+1]
+		if dgl[1] != "DGL" || ug[1] != "uGrapher" {
+			t.Fatalf("unexpected row order: %v / %v", dgl[1], ug[1])
+		}
+		dglCycles, _ := strconv.ParseFloat(dgl[6], 64)
+		ugCycles, _ := strconv.ParseFloat(ug[6], 64)
+		if ugCycles > dglCycles*1.01 {
+			t.Errorf("%s: uGrapher cycles %v worse than DGL %v", dgl[0], ugCycles, dglCycles)
+		}
+	}
+}
+
+func TestFig19ReorderOrthogonal(t *testing.T) {
+	tab := runQuick(t, "fig19")
+	for _, row := range tab.Rows {
+		dglO, _ := strconv.ParseFloat(row[1], 64)
+		ugO, _ := strconv.ParseFloat(row[3], 64)
+		ugR, _ := strconv.ParseFloat(row[4], 64)
+		if ugO > dglO {
+			t.Errorf("%s: uGrapher (%.2f) should beat DGL (%.2f) without reordering", row[0], ugO, dglO)
+		}
+		if ugR > 1.05 {
+			t.Errorf("%s: uGrapher+reorder %.2f should be at/near the best cell", row[0], ugR)
+		}
+	}
+}
+
+func TestFig12PredictorCloseToGrid(t *testing.T) {
+	tab := runQuick(t, "fig12")
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad predicted cell %q", row[3])
+		}
+		w, _ := strconv.ParseFloat(row[5], 64)
+		if v > 3.0 {
+			t.Errorf("%s: predictor pick %.2fx off optimum", row[0], v)
+		}
+		if w < 1.0 {
+			t.Errorf("%s: worst schedule %.2f below best?", row[0], w)
+		}
+	}
+}

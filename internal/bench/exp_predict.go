@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ops"
+	"repro/internal/schedule"
+)
+
+// Fig. 12: the learned strategy selector (§5.4) reaches performance close
+// to exhaustive grid search, at negligible selection cost.
+
+func init() {
+	register("fig12", "Predictor vs grid search for the GCN layer-1 aggregation", runFig12)
+}
+
+func runFig12(o Options) (*Table, error) {
+	codes := o.pick(allDatasetCodes(), []string{"CO", "PR", "AR"})
+	graphs, err := loadGraphs(codes)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Predictor(o.Quick)
+	if err != nil {
+		return nil, err
+	}
+	dev := device("V100")
+	t := &Table{
+		ID:     "fig12",
+		Title:  "GCN L1 fused aggregation (V100): time normalized to grid-search optimum",
+		Header: []string{"dataset", "grid-best", "grid-schedule", "predicted", "pred-schedule", "worst"},
+	}
+	var ratios []float64
+	var predMillis float64
+	for _, code := range codes {
+		h := graphs[code]
+		// GCN layer 1: u_mul_e + sum at hidden width 16.
+		task := schedule.Task{Graph: h.g, Op: ops.WeightedAggrSum, Feat: 16, Device: dev}.Widths(true)
+		cands := schedule.GridSearch(task, schedule.PrunedSpace(task), o.simOpts()...)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("bench: empty schedule space for %s", code)
+		}
+		best := cands[0]
+		worst := cands[len(cands)-1]
+
+		start := time.Now()
+		pick := p.Pick(task, schedule.PrunedSpace(task))
+		predMillis += float64(time.Since(start).Microseconds()) / 1000
+
+		picked, err := schedule.Evaluate(task, pick, o.simOpts()...)
+		if err != nil {
+			return nil, err
+		}
+		ratio := picked.Metrics.Cycles / best.Metrics.Cycles
+		ratios = append(ratios, ratio)
+		t.Rows = append(t.Rows, []string{
+			code, "1.00", best.Schedule.String(),
+			f2(ratio), pick.String(),
+			f2(worst.Metrics.Cycles / best.Metrics.Cycles),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("geomean predicted/optimal = %s (paper: predictor close to grid search)", f2(geomean(ratios))),
+		fmt.Sprintf("mean prediction latency %.2f ms per operator (paper reports < 0.2 ms with LightGBM on CPU)", predMillis/float64(len(codes))))
+	return t, nil
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+)
+
+// Fig. 2 (workload imbalance under a fixed mapping) and Table 8 (the
+// experimental setup — here, the simulated device configurations).
+
+func init() {
+	register("fig2", "Workload imbalance under a fixed vertex-to-thread mapping", runFig2)
+	register("table8", "Simulated device configurations (the paper's V100/A100 testbeds)", runTable8)
+}
+
+func runFig2(o Options) (*Table, error) {
+	// The paper's Fig. 2 illustrates that mapping one vertex per thread
+	// makes a warp wait for its heaviest lane. Measure exactly that: for
+	// each dataset, the mean over warps of (max lane degree / mean lane
+	// degree) under the thread-vertex mapping, and the fraction of lane
+	// cycles wasted idling.
+	codes := o.pick(allDatasetCodes(), []string{"CO", "PR", "AR", "SB"})
+	graphs, err := loadGraphs(codes)
+	if err != nil {
+		return nil, err
+	}
+	const warpSize = 32
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Thread-vertex warp imbalance: lanes idle while the heaviest lane drains",
+		Header: []string{"dataset", "std_nnz", "mean(warp max/mean degree)", "idle lane-cycles %"},
+	}
+	for _, code := range codes {
+		h := graphs[code]
+		st := h.g.ComputeStats()
+		n := h.g.NumVertices()
+		var ratioSum float64
+		var warps int
+		var busy, total float64
+		for base := 0; base < n; base += warpSize {
+			end := base + warpSize
+			if end > n {
+				end = n
+			}
+			var maxDeg, sumDeg float64
+			lanes := 0
+			for v := base; v < end; v++ {
+				d := float64(h.g.InDegree(int32(v)))
+				sumDeg += d
+				if d > maxDeg {
+					maxDeg = d
+				}
+				lanes++
+			}
+			if sumDeg == 0 {
+				continue
+			}
+			mean := sumDeg / float64(lanes)
+			ratioSum += maxDeg / mean
+			warps++
+			busy += sumDeg
+			total += maxDeg * float64(lanes)
+		}
+		idle := 0.0
+		if total > 0 {
+			idle = (1 - busy/total) * 100
+		}
+		t.Rows = append(t.Rows, []string{
+			code, f2(st.StdInDegree), f2(ratioSum / float64(warps)), f2(idle),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper's shape: skewed graphs waste most lane cycles under the fixed mapping")
+	return t, nil
+}
+
+func runTable8(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "table8",
+		Title:  "Simulated device configurations (DESIGN.md documents the substitution)",
+		Header: []string{"parameter", "V100", "A100"},
+	}
+	v, a := gpu.V100(), gpu.A100()
+	rows := []struct {
+		label string
+		get   func(*gpu.Device) string
+	}{
+		{"SMs", func(d *gpu.Device) string { return fmt.Sprintf("%d", d.NumSMs) }},
+		{"warp size", func(d *gpu.Device) string { return fmt.Sprintf("%d", d.WarpSize) }},
+		{"max warps/SM", func(d *gpu.Device) string { return fmt.Sprintf("%d", d.MaxWarpsPerSM) }},
+		{"threads/block", func(d *gpu.Device) string { return fmt.Sprintf("%d", d.ThreadsPerBlock) }},
+		{"L1 per SM", func(d *gpu.Device) string { return fmt.Sprintf("%d KiB", d.L1Bytes>>10) }},
+		{"L2", func(d *gpu.Device) string { return fmt.Sprintf("%d MiB", d.L2Bytes>>20) }},
+		{"DRAM B/cycle", func(d *gpu.Device) string { return fmt.Sprintf("%.0f", d.DRAMBytesPerCycle) }},
+		{"L2 B/cycle", func(d *gpu.Device) string { return fmt.Sprintf("%.0f", d.L2BytesPerCycle) }},
+		{"FP32/cycle", func(d *gpu.Device) string { return fmt.Sprintf("%.0f", d.FP32PerCycle) }},
+		{"tensor-core GEMM", func(d *gpu.Device) string { return fmt.Sprintf("%.0fx", d.TensorCoreSpeedup) }},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.label, r.get(v), r.get(a)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("schedule notation: strategy in %v, grouping and tiling as _G<g>_T<t>",
+			[]string{core.ThreadVertex.Code(), core.ThreadEdge.Code(), core.WarpVertex.Code(), core.WarpEdge.Code()}))
+	return t, nil
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFig2ImbalanceTracksSkew(t *testing.T) {
+	tab := runQuick(t, "fig2")
+	byCode := map[string][]string{}
+	for _, row := range tab.Rows {
+		byCode[row[0]] = row
+	}
+	get := func(code string, col int) float64 {
+		row, ok := byCode[code]
+		if !ok {
+			t.Fatalf("missing dataset %s", code)
+		}
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[col])
+		}
+		return v
+	}
+	// The imbalanced graphs waste far more lane-cycles than the balanced one.
+	if get("AR", 3) <= get("PR", 3) {
+		t.Errorf("AR idle %% (%.1f) should exceed PR (%.1f)", get("AR", 3), get("PR", 3))
+	}
+	if get("SB", 2) <= get("PR", 2) {
+		t.Errorf("SB max/mean ratio (%.2f) should exceed PR (%.2f)", get("SB", 2), get("PR", 2))
+	}
+}
+
+func TestTable8Specs(t *testing.T) {
+	tab := runQuick(t, "table8")
+	var sawSMs bool
+	for _, row := range tab.Rows {
+		if row[0] == "SMs" {
+			sawSMs = true
+			if row[1] != "80" || row[2] != "108" {
+				t.Errorf("SM counts = %v, want 80/108", row[1:])
+			}
+		}
+	}
+	if !sawSMs {
+		t.Error("missing SMs row")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "t",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "with,comma"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# x: t\n") {
+		t.Errorf("missing comment header: %q", out)
+	}
+	if !strings.Contains(out, "\"with,comma\"") {
+		t.Errorf("comma not quoted: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("want 4 lines, got %d", len(lines))
+	}
+}

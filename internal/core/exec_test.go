@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// testGraph builds a deterministic random graph with some skew and some
+// zero-degree vertices.
+func testGraph(t testing.TB, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		src := int32(rng.Intn(n))
+		// Skew destinations: half the edges land in the first quarter.
+		var dst int32
+		if rng.Float64() < 0.5 {
+			dst = int32(rng.Intn(n/4 + 1))
+		} else {
+			dst = int32(rng.Intn(n))
+		}
+		b.AddEdge(src, dst)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// makeOperands allocates random inputs and an output for op over g.
+func makeOperands(g *graph.Graph, op ops.OpInfo, feat int, widthOneB bool, seed int64) Operands {
+	rng := rand.New(rand.NewSource(seed))
+	alloc := func(kind tensor.Kind, cols int) tensor.Typed {
+		if kind == tensor.Null {
+			return tensor.NullTensor
+		}
+		rows := g.NumVertices()
+		if kind == tensor.EdgeK {
+			rows = g.NumEdges()
+		}
+		d := tensor.NewDense(rows, cols)
+		d.FillRandom(rng, 1)
+		return tensor.Typed{Kind: kind, T: d}
+	}
+	bCols := feat
+	if widthOneB {
+		bCols = 1
+	}
+	o := Operands{
+		A: alloc(op.AKind, feat),
+		B: alloc(op.BKind, bCols),
+	}
+	outRows := g.NumVertices()
+	if op.CKind == tensor.EdgeK {
+		outRows = g.NumEdges()
+	}
+	o.C = tensor.Typed{Kind: op.CKind, T: tensor.NewDense(outRows, feat)}
+	return o
+}
+
+var testOps = []struct {
+	name      string
+	op        ops.OpInfo
+	widthOneB bool
+}{
+	{"aggr_sum", ops.AggrSum, false},
+	{"aggr_max", ops.AggrMax, false},
+	{"aggr_mean", ops.AggrMean, false},
+	{"weighted_aggr_sum", ops.WeightedAggrSum, true},
+	{"u_add_v_msgc", ops.UAddV, false},
+	{"copy_u_msgc", ops.CopyU, false},
+	{"copy_e_sum", ops.CopyESum, false},
+	{"e_div_v", ops.EDivV, false},
+}
+
+// TestAllSchedulesMatchReference is the central correctness property: every
+// (strategy, group, tile) combination computes the same result as the
+// canonical Fig. 5 nested loop, for every operator family.
+func TestAllSchedulesMatchReference(t *testing.T) {
+	g := testGraph(t, 200, 1500, 42)
+	schedules := []Schedule{
+		{ThreadVertex, 1, 1}, {ThreadEdge, 1, 1}, {WarpVertex, 1, 1}, {WarpEdge, 1, 1},
+		{ThreadVertex, 4, 2}, {ThreadEdge, 8, 4}, {WarpVertex, 2, 8}, {WarpEdge, 16, 2},
+		{ThreadEdge, 64, 32}, {WarpVertex, 1, 64},
+	}
+	for _, tc := range testOps {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			feat := 24
+			ref := makeOperands(g, tc.op, feat, tc.widthOneB, 7)
+			if err := Reference(g, tc.op, ref); err != nil {
+				t.Fatal(err)
+			}
+			for _, sched := range schedules {
+				got := makeOperands(g, tc.op, feat, tc.widthOneB, 7)
+				p, err := Compile(tc.op, sched)
+				if err != nil {
+					t.Fatalf("%v: %v", sched, err)
+				}
+				if err := p.Execute(g, got); err != nil {
+					t.Fatalf("%v: %v", sched, err)
+				}
+				if !got.C.T.AllClose(ref.C.T, 1e-4, 1e-4) {
+					t.Errorf("%v: output differs from reference (maxdiff %v)",
+						sched, got.C.T.MaxDiff(ref.C.T))
+				}
+			}
+		})
+	}
+}
+
+func TestZeroDegreeVerticesOutputZero(t *testing.T) {
+	// Vertex 3 has no incoming edges.
+	g, err := graph.FromCOO(4, []int32{0, 1, 2}, []int32{1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []ops.OpInfo{ops.AggrSum, ops.AggrMax, ops.AggrMean} {
+		for _, strat := range Strategies {
+			o := makeOperands(g, op, 4, false, 3)
+			p := MustCompile(op, Schedule{strat, 1, 1})
+			if err := p.Execute(g, o); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 4; j++ {
+				if o.C.T.At(3, j) != 0 {
+					t.Errorf("%s/%s: zero-degree vertex got %v, want 0",
+						op.Name, strat, o.C.T.At(3, j))
+				}
+			}
+		}
+	}
+}
+
+func TestAggrSumKnownValues(t *testing.T) {
+	// 0->2, 1->2 with features [1,2] and [10,20]: vertex 2 sums to [11,22].
+	g, err := graph.FromCOO(3, []int32{0, 1}, []int32{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice(3, 2, []float32{1, 2, 10, 20, 100, 200})
+	out := tensor.NewDense(3, 2)
+	o := Operands{A: tensor.Src(x), B: tensor.NullTensor, C: tensor.Dst(out)}
+	if err := Reference(g, ops.AggrSum, o); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(2, 0) != 11 || out.At(2, 1) != 22 {
+		t.Errorf("vertex 2 = [%v %v], want [11 22]", out.At(2, 0), out.At(2, 1))
+	}
+	if out.At(0, 0) != 0 || out.At(1, 1) != 0 {
+		t.Error("sourceless vertices should be 0")
+	}
+}
+
+func TestAggrMeanKnownValues(t *testing.T) {
+	g, err := graph.FromCOO(3, []int32{0, 1}, []int32{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice(3, 1, []float32{4, 8, 0})
+	out := tensor.NewDense(3, 1)
+	o := Operands{A: tensor.Src(x), B: tensor.NullTensor, C: tensor.Dst(out)}
+	p := MustCompile(ops.AggrMean, Schedule{ThreadEdge, 1, 1})
+	if err := p.Execute(g, o); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(2, 0) != 6 {
+		t.Errorf("mean = %v, want 6", out.At(2, 0))
+	}
+}
+
+func TestWeightedAggrSumBroadcast(t *testing.T) {
+	// Edge weights are width-1 and broadcast across two feature columns.
+	g, err := graph.FromCOO(2, []int32{0, 0}, []int32{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice(2, 2, []float32{3, 5, 0, 0})
+	w := tensor.FromSlice(2, 1, []float32{2, 10})
+	out := tensor.NewDense(2, 2)
+	o := Operands{A: tensor.Src(x), B: tensor.Edge(w), C: tensor.Dst(out)}
+	if err := Reference(g, ops.WeightedAggrSum, o); err != nil {
+		t.Fatal(err)
+	}
+	// dst 1 = 3*2 + 3*10 = 36 in col 0; 5*2 + 5*10 = 60 in col 1.
+	if out.At(1, 0) != 36 || out.At(1, 1) != 60 {
+		t.Errorf("got [%v %v], want [36 60]", out.At(1, 0), out.At(1, 1))
+	}
+}
+
+func TestMessageCreationUAddV(t *testing.T) {
+	g, err := graph.FromCOO(2, []int32{0}, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice(2, 1, []float32{3, 4})
+	y := tensor.FromSlice(2, 1, []float32{10, 20})
+	out := tensor.NewDense(1, 1)
+	o := Operands{A: tensor.Src(x), B: tensor.Typed{Kind: tensor.DstV, T: y}, C: tensor.Edge(out)}
+	if err := Reference(g, ops.UAddV, o); err != nil {
+		t.Fatal(err)
+	}
+	// edge 0: src=0 dst=1: x[0] + y[1] = 3 + 20.
+	if out.At(0, 0) != 23 {
+		t.Errorf("got %v, want 23", out.At(0, 0))
+	}
+}
+
+func TestExecuteRejectsBadOperands(t *testing.T) {
+	g := testGraph(t, 10, 30, 1)
+	p := MustCompile(ops.AggrSum, DefaultSchedule)
+	good := makeOperands(g, ops.AggrSum, 4, false, 1)
+
+	bad := good
+	bad.A = tensor.NullTensor
+	if err := p.Execute(g, bad); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	bad = good
+	bad.C = tensor.Typed{Kind: tensor.DstV, T: tensor.NewDense(g.NumVertices()+1, 4)}
+	if err := p.Execute(g, bad); err == nil {
+		t.Error("row mismatch should fail")
+	}
+	bad = good
+	bad.A = tensor.Src(tensor.NewDense(g.NumVertices(), 3)) // neither 4 nor 1
+	if err := p.Execute(g, bad); err == nil {
+		t.Error("width mismatch should fail")
+	}
+	bad = good
+	bad.C = tensor.Typed{Kind: tensor.DstV}
+	if err := p.Execute(g, bad); err == nil {
+		t.Error("missing output should fail")
+	}
+}
+
+func TestExecuteEmptyGraph(t *testing.T) {
+	g, err := graph.FromCOO(0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Operands{
+		A: tensor.Src(tensor.NewDense(0, 4)),
+		B: tensor.NullTensor,
+		C: tensor.Dst(tensor.NewDense(0, 4)),
+	}
+	if err := Reference(g, ops.AggrSum, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureWidthOne(t *testing.T) {
+	// F=1 exercises the sub-line chunk path in every schedule.
+	g := testGraph(t, 50, 300, 9)
+	ref := makeOperands(g, ops.AggrSum, 1, false, 2)
+	if err := Reference(g, ops.AggrSum, ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range Strategies {
+		got := makeOperands(g, ops.AggrSum, 1, false, 2)
+		p := MustCompile(ops.AggrSum, Schedule{strat, 2, 2})
+		if err := p.Execute(g, got); err != nil {
+			t.Fatal(err)
+		}
+		if !got.C.T.AllClose(ref.C.T, 1e-4, 1e-4) {
+			t.Errorf("%s: F=1 mismatch", strat)
+		}
+	}
+}

@@ -1,0 +1,586 @@
+package core
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/tensor"
+)
+
+// threadKernel models the thread-vertex and thread-edge strategies: each
+// thread owns Group work items and the full feature slice of its tile, so a
+// warp's 32 lanes process 32 different items in lockstep. Consequences the
+// model captures (paper §4.2):
+//
+//   - thread-vertex diverges when in-degrees differ across the 32 lanes: the
+//     warp issues instructions for the longest lane (Fig. 2b's imbalance);
+//   - feature reads are scattered across lanes (one transaction per lane per
+//     chunk) — poor coalescing, the locality cost of thread mapping;
+//   - thread-edge lanes share destination vertices (CSR edge order groups
+//     them), so atomic reductions replay serially per duplicated dst.
+type threadKernel struct {
+	*model
+	// laneState reused by lockstep traversal in TraceBlock.
+	cursors [32]laneCursor
+}
+
+type laneCursor struct {
+	active    bool
+	tile      int
+	item      int32 // current vertex (TV) — index into [first, first+count)
+	itemEnd   int32
+	edgePos   int32 // next in-edge offset within current vertex (TV)
+	edgeCount int32
+}
+
+func (k *threadKernel) NumBlocks() int {
+	tpb := k.dev.ThreadsPerBlock
+	return (k.units + tpb - 1) / tpb
+}
+
+func (k *threadKernel) WarpsPerBlock() int { return k.dev.WarpsPerBlock() }
+
+// laneUnits returns the number of live thread units in the warp starting at
+// thread id base.
+func (k *threadKernel) laneUnits(base int) int {
+	n := k.units - base
+	if n > k.dev.WarpSize {
+		n = k.dev.WarpSize
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// seqLines estimates the distinct lines touched when `lanes` lanes access
+// rows spaced `rowStride` rows apart in an array of `cols` columns, at one
+// chunk (sequential-pattern coalescing: consecutive-ish rows share lines
+// when rows are small).
+func (k *threadKernel) seqLines(lanes, rowStride, cols int) float64 {
+	if lanes == 0 {
+		return 0
+	}
+	spanBytes := float64(lanes) * float64(rowStride) * float64(cols) * 4
+	lines := spanBytes / float64(k.dev.LineBytes)
+	if lines < 1 {
+		lines = 1
+	}
+	if lines > float64(lanes) {
+		lines = float64(lanes)
+	}
+	return lines
+}
+
+// scatteredLines estimates distinct lines for lanes reading random rows.
+func (k *threadKernel) scatteredLines(lanes, cols int) float64 {
+	if lanes == 0 {
+		return 0
+	}
+	if cols == 1 {
+		// 32 scalars share a line; random rows coalesce only by accident.
+		l := float64(lanes) / 4
+		if l < 1 {
+			l = 1
+		}
+		return l
+	}
+	return float64(lanes)
+}
+
+func (k *threadKernel) BlockWork(b int) gpu.BlockWork {
+	var w gpu.BlockWork
+	tpb := k.dev.ThreadsPerBlock
+	ws := k.dev.WarpSize
+	for warp := 0; warp < k.WarpsPerBlock(); warp++ {
+		base := b*tpb + warp*ws
+		lanes := k.laneUnits(base)
+		if lanes == 0 {
+			continue
+		}
+		if k.plan.Schedule.Strategy == ThreadVertex {
+			k.vertexWarpWork(base, lanes, &w)
+		} else {
+			k.edgeWarpWork(base, lanes, &w)
+		}
+	}
+	return w
+}
+
+// vertexWarpWork accounts one thread-vertex warp.
+func (k *threadKernel) vertexWarpWork(base, lanes int, w *gpu.BlockWork) {
+	inPtr := k.g.InPtr()
+	perElem := k.instsPerElem()
+	overhead := k.perItemOverhead()
+
+	var maxLaneInsts float64
+	var totalEdgeSteps, totalItems, maxLaneSteps float64
+	var anyWork bool
+	var elems, chunks float64
+	for l := 0; l < lanes; l++ {
+		tile, first, count := k.unitSplit(base + l)
+		te := float64(k.tileElems(tile))
+		tc := float64(k.tileChunks(tile))
+		if count == 0 || tc == 0 {
+			continue
+		}
+		deg := float64(inPtr[first+count] - inPtr[first])
+		laneInsts := float64(count)*(overhead+tc*VertexEpilogueInsts) + deg*te*perElem
+		if laneInsts > maxLaneInsts {
+			maxLaneInsts = laneInsts
+		}
+		if deg > maxLaneSteps {
+			maxLaneSteps = deg
+		}
+		totalEdgeSteps += deg
+		totalItems += float64(count)
+		elems, chunks = te, tc // uniform across lanes (same tile geometry)
+		anyWork = true
+	}
+	if !anyWork {
+		return
+	}
+	w.Insts += maxLaneInsts
+	if maxLaneInsts > w.MaxWarpCycles {
+		w.MaxWarpCycles = maxLaneInsts
+	}
+	w.BusyWarpCycles += maxLaneInsts
+	w.ActiveWarps++
+	fw, sc := k.loadInstCounts()
+	w.MemInsts += maxLaneSteps * (elems*fw + sc + 1)
+
+	gsz := k.plan.Schedule.Group
+	// Feature reads. Line-level traffic (Transactions): one line per lane
+	// per edge-step per chunk. LSU requests (L1Requests): one per lane per
+	// edge-step per ELEMENT — thread-mapped loads are uncoalesced, so every
+	// scalar step replays across the active lanes' distinct lines.
+	if k.a.present() {
+		if k.a.kind == tensor.DstV {
+			w.Transactions += totalItems * chunks * k.scatteredLines(1, k.a.cols)
+			w.L1Requests += totalItems * elems / sectorService
+		} else {
+			w.Transactions += totalEdgeSteps * chunks / float64(lanes) * k.scatteredLines(lanes, k.a.cols)
+			if k.a.cols == 1 {
+				w.L1Requests += totalEdgeSteps
+			} else {
+				w.L1Requests += totalEdgeSteps * elems / sectorService
+			}
+		}
+	}
+	if k.b.present() {
+		perChunk := chunks
+		perElems := elems
+		if k.b.cols == 1 {
+			perChunk = 1
+			perElems = 1
+		}
+		if k.b.kind == tensor.DstV {
+			w.Transactions += totalItems * perChunk
+			w.L1Requests += totalItems * perElems / sectorService
+		} else {
+			w.Transactions += totalEdgeSteps * perChunk / float64(lanes) * k.scatteredLines(lanes, k.b.cols)
+			w.L1Requests += totalEdgeSteps * perElems / sectorService
+		}
+	}
+	// Graph index reads: inPtr per item, inSrc per edge-step (4B scalars).
+	w.Transactions += totalItems / float64(lanes) * k.seqLines(lanes, gsz, 1)
+	w.Transactions += totalEdgeSteps / 8 // inSrc: partial coalescing of 4B reads
+	w.L1Requests += totalItems + totalEdgeSteps/4
+	if k.c.kind == tensor.EdgeK {
+		w.Transactions += totalEdgeSteps / 8 // inEdges ids for edge-addressed output
+		// Message creation: one write per edge-step per chunk, scattered.
+		w.Transactions += totalEdgeSteps * chunks / float64(lanes) * k.scatteredLines(lanes, k.c.cols)
+		w.L1Requests += totalEdgeSteps * (elems/sectorService + 0.25)
+	} else {
+		// Register accumulation; one write per item per chunk.
+		w.Transactions += totalItems * chunks / float64(lanes) * k.seqLines(lanes, gsz*1, k.c.cols)
+		w.L1Requests += totalItems * elems / sectorService
+	}
+}
+
+// edgeWarpWork accounts one thread-edge warp. All lanes carry the same
+// number of edges (work balance is the strategy's strength); the costs are
+// scattered reads and atomic output conflicts.
+func (k *threadKernel) edgeWarpWork(base, lanes int, w *gpu.BlockWork) {
+	perElem := k.instsPerElem()
+	overhead := k.perItemOverhead()
+	edgeDst := k.g.EdgeDsts()
+
+	gsz := k.plan.Schedule.Group
+	tile0, _, _ := k.unitSplit(base)
+	chunks := float64(k.tileChunks(tile0))
+	elems := float64(k.tileElems(tile0))
+	if chunks == 0 {
+		return
+	}
+
+	// Per group-step accounting: lanes advance through their groups in
+	// lockstep; at step s lane l handles edge first_l + s.
+	var insts, trans, requests, atomicTrans, serial float64
+	var anyWork bool
+	maxSteps := gsz
+	var dsts [32]int32
+	for s := 0; s < maxSteps; s++ {
+		active := 0
+		for l := 0; l < lanes; l++ {
+			_, first, count := k.unitSplit(base + l)
+			if s >= count {
+				continue
+			}
+			dsts[active] = edgeDst[first+s]
+			active++
+		}
+		if active == 0 {
+			continue
+		}
+		fActive := float64(active)
+		anyWork = true
+		insts += overhead + elems*perElem
+		fw, sc := k.loadInstCounts()
+		w.MemInsts += elems*fw + sc + 2 // per-element input loads + idx loads
+		// Index reads: edgeSrc + edgeDst, 4B, lanes strided by Group.
+		trans += 2 * k.seqLines(active, gsz, 1)
+		requests += 2 * k.seqLines(active, gsz, 1)
+		if k.a.present() {
+			if k.a.cols == 1 {
+				trans += k.scatteredLines(active, 1)
+				requests += k.scatteredLines(active, 1)
+			} else {
+				trans += chunks * k.scatteredLines(active, k.a.cols)
+				requests += elems * fActive / sectorService
+			}
+		}
+		if k.b.present() {
+			switch {
+			case k.b.cols == 1 && k.b.kind == tensor.EdgeK:
+				// Scalar edge weights: lanes read consecutive-ish words.
+				trans += k.seqLines(active, gsz, 1)
+				requests += k.seqLines(active, gsz, 1)
+			case k.b.cols == 1:
+				trans += k.scatteredLines(active, 1)
+				requests += k.scatteredLines(active, 1)
+			case k.b.kind == tensor.EdgeK:
+				trans += chunks * k.seqLines(active, gsz, k.b.cols)
+				requests += elems * fActive / sectorService
+			default:
+				trans += chunks * k.scatteredLines(active, k.b.cols)
+				requests += elems * fActive / sectorService
+			}
+		}
+		// Output: per chunk, distinct dst lines. Duplicated destinations are
+		// warp-aggregated (Volta+): one atomic per distinct address per
+		// element, plus a shuffle-reduction cost logarithmic in the largest
+		// duplicate run, plus residual serialisation at the L2.
+		if k.plan.NeedsAtomic {
+			distinct, maxMult := dstStats(dsts[:active])
+			aggDepth := float64(log2ceil(maxMult))
+			atomicTrans += chunks * float64(distinct)
+			requests += elems * float64(distinct) / sectorService
+			serial += chunks * float64(maxMult-1) / 4
+			insts += elems * aggDepth // warp shuffle reduction per element
+		} else {
+			// Message creation: rows are consecutive edge ids.
+			trans += chunks * k.seqLines(active, gsz, k.c.cols)
+			requests += elems * fActive / sectorService
+		}
+	}
+	if !anyWork {
+		return
+	}
+	w.Insts += insts
+	if insts > w.MaxWarpCycles {
+		w.MaxWarpCycles = insts
+	}
+	w.BusyWarpCycles += insts
+	w.Transactions += trans + atomicTrans
+	w.L1Requests += requests
+	w.AtomicTransactions += atomicTrans
+	w.SerialRounds += serial
+	w.ActiveWarps++
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	d := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		d++
+	}
+	return d
+}
+
+// dstStats returns the number of distinct destinations and the maximum
+// multiplicity among a warp step's lanes. CSR-ordered edge lists give
+// non-decreasing destinations, so the common case is a linear run scan;
+// unordered inputs fall back to a quadratic scan over at most 32 lanes.
+func dstStats(dsts []int32) (distinct, maxMult int) {
+	if len(dsts) == 0 {
+		return 0, 1
+	}
+	sorted := true
+	for i := 1; i < len(dsts); i++ {
+		if dsts[i] < dsts[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		maxMult = 1
+		run := 1
+		distinct = 1
+		for i := 1; i < len(dsts); i++ {
+			if dsts[i] == dsts[i-1] {
+				run++
+				if run > maxMult {
+					maxMult = run
+				}
+				continue
+			}
+			run = 1
+			distinct++
+		}
+		return distinct, maxMult
+	}
+	maxMult = 1
+	for i, d := range dsts {
+		dup := false
+		mult := 1
+		for j := 0; j < i; j++ {
+			if dsts[j] == d {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		for j := i + 1; j < len(dsts); j++ {
+			if dsts[j] == d {
+				mult++
+			}
+		}
+		distinct++
+		if mult > maxMult {
+			maxMult = mult
+		}
+	}
+	return distinct, maxMult
+}
+
+func (k *threadKernel) TraceBlock(b int, visit func(gpu.WarpAccess)) {
+	tpb := k.dev.ThreadsPerBlock
+	ws := k.dev.WarpSize
+	for warp := 0; warp < k.WarpsPerBlock(); warp++ {
+		base := b*tpb + warp*ws
+		lanes := k.laneUnits(base)
+		if lanes == 0 {
+			continue
+		}
+		if k.plan.Schedule.Strategy == ThreadVertex {
+			k.vertexWarpTrace(base, lanes, visit)
+		} else {
+			k.edgeWarpTrace(base, lanes, visit)
+		}
+	}
+}
+
+// vertexWarpTrace replays a thread-vertex warp in lockstep over edge-steps.
+func (k *threadKernel) vertexWarpTrace(base, lanes int, visit func(gpu.WarpAccess)) {
+	inPtr := k.g.InPtr()
+	inSrc := k.g.InSrcs()
+	inEdges := k.g.InEdgeIDs()
+	tile := 0
+
+	// Initialise per-lane cursors.
+	for l := 0; l < lanes; l++ {
+		t, first, count := k.unitSplit(base + l)
+		cur := &k.cursors[l]
+		cur.tile = t
+		cur.item = int32(first)
+		cur.itemEnd = int32(first + count)
+		cur.edgePos = 0
+		cur.active = count > 0 && k.tileChunks(t) > 0
+		if cur.active {
+			cur.edgeCount = inPtr[cur.item+1] - inPtr[cur.item]
+			tile = t
+		}
+		// Skip zero-degree vertices up front.
+		for cur.active && cur.edgeCount == 0 {
+			k.advanceVertexLane(cur, inPtr)
+		}
+	}
+
+	// inPtr reads (per item, approximated as one access per warp at start).
+	for l := 0; l < lanes; l++ {
+		if k.cursors[l].active || k.cursors[l].itemEnd > k.cursors[l].item {
+			k.addLine((segInPtr*segmentBytes + int64(k.cursors[l].item)*4) >> 7)
+		}
+	}
+	k.flushAccess(false, visit)
+
+	epl := elemsPerLine(k.dev)
+	for {
+		anyActive := false
+		// Index read: inSrc for each active lane's current edge.
+		for l := 0; l < lanes; l++ {
+			cur := &k.cursors[l]
+			if !cur.active {
+				continue
+			}
+			anyActive = true
+			off := inPtr[cur.item] + cur.edgePos
+			k.addLine((segInSrc*segmentBytes + int64(off)*4) >> 7)
+		}
+		if !anyActive {
+			break
+		}
+		k.flushAccess(false, visit)
+
+		// Feature accesses chunk by chunk (feature loop is innermost).
+		for c := cur0Tile(tile); c < k.featChunks; c += k.plan.Schedule.Tile {
+			elem := c * epl
+			for l := 0; l < lanes; l++ {
+				cur := &k.cursors[l]
+				if !cur.active {
+					continue
+				}
+				off := inPtr[cur.item] + cur.edgePos
+				u := inSrc[off]
+				v := cur.item
+				e := inEdges[off]
+				if k.a.present() {
+					if k.a.cols == 1 {
+						if c == cur0Tile(tile) {
+							k.addLine(k.a.line(k.a.row(e, u, v), 0))
+						}
+					} else {
+						k.addLineDup(k.a.line(k.a.row(e, u, v), elem))
+					}
+				}
+				if k.b.present() {
+					if k.b.cols == 1 {
+						if c == cur0Tile(tile) {
+							k.addLine(k.b.line(k.b.row(e, u, v), 0))
+						}
+					} else {
+						k.addLineDup(k.b.line(k.b.row(e, u, v), elem))
+					}
+				}
+				if k.c.kind == tensor.EdgeK {
+					k.addLineDup(k.c.line(e, elem))
+				}
+			}
+			k.flushAccess(false, visit)
+		}
+
+		// Advance lanes; emit output writes when a lane finishes a vertex.
+		for l := 0; l < lanes; l++ {
+			cur := &k.cursors[l]
+			if !cur.active {
+				continue
+			}
+			cur.edgePos++
+			if cur.edgePos >= cur.edgeCount {
+				if k.c.kind == tensor.DstV {
+					for c := cur0Tile(cur.tile); c < k.featChunks; c += k.plan.Schedule.Tile {
+						k.addLine(k.c.line(cur.item, c*epl))
+					}
+				}
+				k.advanceVertexLane(cur, inPtr)
+				for cur.active && cur.edgeCount == 0 {
+					k.advanceVertexLane(cur, inPtr)
+				}
+			}
+		}
+		k.flushAccess(false, visit)
+	}
+}
+
+// cur0Tile returns the first chunk index of a tile.
+func cur0Tile(tile int) int { return tile }
+
+func (k *threadKernel) advanceVertexLane(cur *laneCursor, inPtr []int32) {
+	cur.item++
+	cur.edgePos = 0
+	if cur.item >= cur.itemEnd {
+		cur.active = false
+		return
+	}
+	cur.edgeCount = inPtr[cur.item+1] - inPtr[cur.item]
+}
+
+// edgeWarpTrace replays a thread-edge warp: lanes advance through their edge
+// groups in lockstep.
+func (k *threadKernel) edgeWarpTrace(base, lanes int, visit func(gpu.WarpAccess)) {
+	edgeSrc := k.g.EdgeSrcs()
+	edgeDst := k.g.EdgeDsts()
+	gsz := k.plan.Schedule.Group
+	epl := elemsPerLine(k.dev)
+
+	tile0, _, _ := k.unitSplit(base)
+	if k.tileChunks(tile0) == 0 {
+		return
+	}
+	for s := 0; s < gsz; s++ {
+		// Index reads.
+		anyActive := false
+		for l := 0; l < lanes; l++ {
+			_, first, count := k.unitSplit(base + l)
+			if s >= count {
+				continue
+			}
+			anyActive = true
+			e := int64(first + s)
+			k.addLine((segEdgeSrc*segmentBytes + e*4) >> 7)
+			k.addLine((segEdgeDst*segmentBytes + e*4) >> 7)
+		}
+		if !anyActive {
+			break
+		}
+		k.flushAccess(false, visit)
+
+		for c := tile0; c < k.featChunks; c += k.plan.Schedule.Tile {
+			elem := c * epl
+			// Input reads.
+			for l := 0; l < lanes; l++ {
+				_, first, count := k.unitSplit(base + l)
+				if s >= count {
+					continue
+				}
+				e := int32(first + s)
+				u, v := edgeSrc[e], edgeDst[e]
+				if k.a.present() {
+					if k.a.cols == 1 {
+						if c == tile0 {
+							k.addLine(k.a.line(k.a.row(e, u, v), 0))
+						}
+					} else {
+						k.addLineDup(k.a.line(k.a.row(e, u, v), elem))
+					}
+				}
+				if k.b.present() {
+					if k.b.cols == 1 {
+						if c == tile0 {
+							k.addLine(k.b.line(k.b.row(e, u, v), 0))
+						}
+					} else {
+						k.addLineDup(k.b.line(k.b.row(e, u, v), elem))
+					}
+				}
+			}
+			k.flushAccess(false, visit)
+			// Output access.
+			for l := 0; l < lanes; l++ {
+				_, first, count := k.unitSplit(base + l)
+				if s >= count {
+					continue
+				}
+				e := int32(first + s)
+				v := edgeDst[e]
+				if k.c.kind == tensor.EdgeK {
+					k.addLine(k.c.line(e, elem))
+				} else {
+					k.addLine(k.c.line(v, elem))
+				}
+			}
+			k.flushAccess(k.plan.NeedsAtomic, visit)
+		}
+	}
+}

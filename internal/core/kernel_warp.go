@@ -1,0 +1,250 @@
+package core
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/tensor"
+)
+
+// warpKernel models the warp-vertex and warp-edge strategies: a whole warp
+// owns Group work items and its 32 lanes split the feature dimension, so
+// feature reads and writes are coalesced (one transaction per chunk) and
+// there is no intra-warp divergence. The costs are the flip side of the
+// trade-off (Table 6): many more units launched (pressure on residency),
+// reduced per-warp cache footprint, and — for warp-edge — atomic traffic on
+// destination rows, though without intra-warp word conflicts (lanes touch
+// distinct feature words).
+type warpKernel struct {
+	*model
+}
+
+func (k *warpKernel) NumBlocks() int {
+	wpb := k.dev.WarpsPerBlock()
+	return (k.units + wpb - 1) / wpb
+}
+
+func (k *warpKernel) WarpsPerBlock() int { return k.dev.WarpsPerBlock() }
+
+func (k *warpKernel) BlockWork(b int) gpu.BlockWork {
+	var w gpu.BlockWork
+	wpb := k.dev.WarpsPerBlock()
+	for warp := 0; warp < wpb; warp++ {
+		unit := b*wpb + warp
+		if unit >= k.units {
+			break
+		}
+		if k.plan.Schedule.Strategy == WarpVertex {
+			k.vertexWarpWork(unit, &w)
+		} else {
+			k.edgeWarpWork(unit, &w)
+		}
+	}
+	return w
+}
+
+// operandReadsPerEdge returns the transactions one edge contributes for an
+// input operand: one line per owned chunk for full-width operands, one
+// scalar line for broadcast operands.
+func (k *warpKernel) operandReadsPerEdge(d operandDesc, chunks float64) float64 {
+	if !d.present() {
+		return 0
+	}
+	if d.cols == 1 {
+		return 1
+	}
+	return chunks
+}
+
+func (k *warpKernel) vertexWarpWork(unit int, w *gpu.BlockWork) {
+	tile, first, count := k.unitSplit(unit)
+	chunks := float64(k.tileChunks(tile))
+	if count == 0 || chunks == 0 {
+		return
+	}
+	inPtr := k.g.InPtr()
+	deg := float64(inPtr[first+count] - inPtr[first])
+	perElem := k.instsPerElem()
+
+	// One warp instruction covers a chunk's lanes, so the per-edge issue
+	// cost is chunks x per-element cost (plus index handling).
+	wInsts := float64(count)*(k.perItemOverhead()+chunks*VertexEpilogueInsts) +
+		deg*(chunks*perElem+1)
+	w.Insts += wInsts
+	if wInsts > w.MaxWarpCycles {
+		w.MaxWarpCycles = wInsts
+	}
+	w.BusyWarpCycles += wInsts
+	fw, sc := k.loadInstCounts()
+	w.MemInsts += deg*(chunks*fw+sc+1) + float64(count)
+	// inPtr per item; inSrc per edge: sequential 4B reads, 32 per line.
+	w.Transactions += float64(count)/float64(elemsPerLine(k.dev)) + 1
+	w.Transactions += deg / float64(elemsPerLine(k.dev))
+	if k.a.present() {
+		if k.a.kind == tensor.DstV {
+			w.Transactions += float64(count) * chunks
+		} else {
+			w.Transactions += deg * k.operandReadsPerEdge(k.a, chunks)
+		}
+	}
+	if k.b.present() {
+		if k.b.kind == tensor.DstV {
+			w.Transactions += float64(count) * chunks
+		} else {
+			w.Transactions += deg * k.operandReadsPerEdge(k.b, chunks)
+		}
+	}
+	if k.c.kind == tensor.EdgeK {
+		w.Transactions += deg / float64(elemsPerLine(k.dev)) // inEdges ids
+		w.Transactions += deg * chunks                       // per-edge output rows
+	} else {
+		w.Transactions += float64(count) * chunks // register accumulate, one store per chunk
+	}
+	w.ActiveWarps++
+}
+
+func (k *warpKernel) edgeWarpWork(unit int, w *gpu.BlockWork) {
+	tile, first, count := k.unitSplit(unit)
+	chunks := float64(k.tileChunks(tile))
+	if count == 0 || chunks == 0 {
+		return
+	}
+	_ = first
+	perElem := k.instsPerElem()
+	n := float64(count)
+
+	wInsts := n * (k.perItemOverhead() + chunks*perElem + 2)
+	w.Insts += wInsts
+	if wInsts > w.MaxWarpCycles {
+		w.MaxWarpCycles = wInsts
+	}
+	w.BusyWarpCycles += wInsts
+	fw, sc := k.loadInstCounts()
+	w.MemInsts += n * (chunks*fw + sc + 2)
+	// edgeSrc + edgeDst: sequential scalar reads.
+	w.Transactions += 2 * n / float64(elemsPerLine(k.dev))
+	w.Transactions += n * k.operandReadsPerEdge(k.a, chunks)
+	w.Transactions += n * k.operandReadsPerEdge(k.b, chunks)
+	if k.c.kind == tensor.EdgeK {
+		w.Transactions += n * chunks
+	} else {
+		// Atomic reduction per edge per chunk; lanes hit distinct words, so
+		// no intra-warp replay, but the traffic is atomic.
+		w.Transactions += n * chunks
+		w.AtomicTransactions += n * chunks
+	}
+	w.ActiveWarps++
+}
+
+func (k *warpKernel) TraceBlock(b int, visit func(gpu.WarpAccess)) {
+	wpb := k.dev.WarpsPerBlock()
+	for warp := 0; warp < wpb; warp++ {
+		unit := b*wpb + warp
+		if unit >= k.units {
+			break
+		}
+		if k.plan.Schedule.Strategy == WarpVertex {
+			k.vertexWarpTrace(unit, visit)
+		} else {
+			k.edgeWarpTrace(unit, visit)
+		}
+	}
+}
+
+func (k *warpKernel) vertexWarpTrace(unit int, visit func(gpu.WarpAccess)) {
+	tile, first, count := k.unitSplit(unit)
+	if count == 0 || k.tileChunks(tile) == 0 {
+		return
+	}
+	inPtr := k.g.InPtr()
+	inSrc := k.g.InSrcs()
+	inEdges := k.g.InEdgeIDs()
+	epl := elemsPerLine(k.dev)
+
+	for v := int32(first); v < int32(first+count); v++ {
+		k.addLine((segInPtr*segmentBytes + int64(v)*4) >> 7)
+		k.flushAccess(false, visit)
+		lo, hi := inPtr[v], inPtr[v+1]
+		for off := lo; off < hi; off++ {
+			u := inSrc[off]
+			e := inEdges[off]
+			k.addLine((segInSrc*segmentBytes + int64(off)*4) >> 7)
+			k.flushAccess(false, visit)
+			for c := tile; c < k.featChunks; c += k.plan.Schedule.Tile {
+				elem := c * epl
+				if k.a.present() {
+					if k.a.cols == 1 {
+						if c == tile {
+							k.addLine(k.a.line(k.a.row(e, u, v), 0))
+						}
+					} else {
+						k.addLine(k.a.line(k.a.row(e, u, v), elem))
+					}
+				}
+				if k.b.present() {
+					if k.b.cols == 1 {
+						if c == tile {
+							k.addLine(k.b.line(k.b.row(e, u, v), 0))
+						}
+					} else {
+						k.addLine(k.b.line(k.b.row(e, u, v), elem))
+					}
+				}
+				if k.c.kind == tensor.EdgeK {
+					k.addLine(k.c.line(e, elem))
+				}
+				k.flushAccess(false, visit)
+			}
+		}
+		if k.c.kind == tensor.DstV {
+			for c := tile; c < k.featChunks; c += k.plan.Schedule.Tile {
+				k.addLine(k.c.line(v, c*epl))
+			}
+			k.flushAccess(false, visit)
+		}
+	}
+}
+
+func (k *warpKernel) edgeWarpTrace(unit int, visit func(gpu.WarpAccess)) {
+	tile, first, count := k.unitSplit(unit)
+	if count == 0 || k.tileChunks(tile) == 0 {
+		return
+	}
+	edgeSrc := k.g.EdgeSrcs()
+	edgeDst := k.g.EdgeDsts()
+	epl := elemsPerLine(k.dev)
+
+	for e := int32(first); e < int32(first+count); e++ {
+		u, v := edgeSrc[e], edgeDst[e]
+		k.addLine((segEdgeSrc*segmentBytes + int64(e)*4) >> 7)
+		k.addLine((segEdgeDst*segmentBytes + int64(e)*4) >> 7)
+		k.flushAccess(false, visit)
+		for c := tile; c < k.featChunks; c += k.plan.Schedule.Tile {
+			elem := c * epl
+			if k.a.present() {
+				if k.a.cols == 1 {
+					if c == tile {
+						k.addLine(k.a.line(k.a.row(e, u, v), 0))
+					}
+				} else {
+					k.addLine(k.a.line(k.a.row(e, u, v), elem))
+				}
+			}
+			if k.b.present() {
+				if k.b.cols == 1 {
+					if c == tile {
+						k.addLine(k.b.line(k.b.row(e, u, v), 0))
+					}
+				} else {
+					k.addLine(k.b.line(k.b.row(e, u, v), elem))
+				}
+			}
+			k.flushAccess(false, visit)
+			if k.c.kind == tensor.EdgeK {
+				k.addLine(k.c.line(e, elem))
+				k.flushAccess(false, visit)
+			} else {
+				k.addLine(k.c.line(v, elem))
+				k.flushAccess(true, visit)
+			}
+		}
+	}
+}

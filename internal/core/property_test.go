@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Property-based tests over the whole (operator x schedule x graph) space.
+
+// randomRegistryOp picks a registry operator, avoiding div by edge values
+// near zero (we clamp operand magnitudes instead).
+func randomRegistryOp(rng *rand.Rand) ops.OpInfo {
+	reg := ops.Registry()
+	return reg[rng.Intn(len(reg))].Info
+}
+
+func randomSchedule(rng *rand.Rand) Schedule {
+	groups := []int{1, 2, 3, 4, 8, 16, 32, 64}
+	tiles := []int{1, 2, 3, 4, 8, 16, 32, 64}
+	return Schedule{
+		Strategy: Strategies[rng.Intn(len(Strategies))],
+		Group:    groups[rng.Intn(len(groups))],
+		Tile:     tiles[rng.Intn(len(tiles))],
+	}
+}
+
+// positiveOperands builds operands whose values are bounded away from zero,
+// so div operators stay numerically tame for AllClose comparisons.
+func positiveOperands(g interface {
+	NumVertices() int
+	NumEdges() int
+}, op ops.OpInfo, feat int, rng *rand.Rand) Operands {
+	alloc := func(kind tensor.Kind) tensor.Typed {
+		if kind == tensor.Null {
+			return tensor.NullTensor
+		}
+		rows := g.NumVertices()
+		if kind == tensor.EdgeK {
+			rows = g.NumEdges()
+		}
+		d := tensor.NewDense(rows, feat)
+		for i := range d.Data {
+			d.Data[i] = 0.5 + rng.Float32() // in [0.5, 1.5)
+		}
+		return tensor.Typed{Kind: kind, T: d}
+	}
+	o := Operands{A: alloc(op.AKind), B: alloc(op.BKind)}
+	outRows := g.NumVertices()
+	if op.CKind == tensor.EdgeK {
+		outRows = g.NumEdges()
+	}
+	o.C = tensor.Typed{Kind: op.CKind, T: tensor.NewDense(outRows, feat)}
+	return o
+}
+
+// TestQuickScheduleEquivalence is the wide version of the central property:
+// any registry operator under any schedule matches the reference loop.
+func TestQuickScheduleEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		m := rng.Intn(600)
+		g := testGraphQuick(rng, n, m)
+		op := randomRegistryOp(rng)
+		sched := randomSchedule(rng)
+		feat := []int{1, 3, 8, 17, 32, 50}[rng.Intn(6)]
+
+		ref := positiveOperands(g, op, feat, rand.New(rand.NewSource(seed+1)))
+		if err := Reference(g, op, ref); err != nil {
+			t.Logf("reference failed: %v", err)
+			return false
+		}
+		got := positiveOperands(g, op, feat, rand.New(rand.NewSource(seed+1)))
+		p, err := Compile(op, sched)
+		if err != nil {
+			return false
+		}
+		if err := p.Execute(g, got); err != nil {
+			t.Logf("execute failed: %v", err)
+			return false
+		}
+		if !got.C.T.AllClose(ref.C.T, 1e-3, 1e-3) {
+			t.Logf("mismatch: op=%s sched=%v feat=%d n=%d m=%d maxdiff=%v",
+				op, sched, feat, n, m, got.C.T.MaxDiff(ref.C.T))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testGraphQuick(rng *rand.Rand, n, m int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestQuickSimulationInvariants: metrics stay sane for arbitrary
+// (operator, schedule, graph) combinations.
+func TestQuickSimulationInvariants(t *testing.T) {
+	dev := gpu.V100()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(300)
+		m := rng.Intn(2000)
+		g := testGraphQuick(rng, n, m)
+		op := randomRegistryOp(rng)
+		sched := randomSchedule(rng)
+		feat := 1 + rng.Intn(96)
+		fa, aCols, bCols := OperandWidths(op, feat, rng.Intn(2) == 0)
+		metrics, err := Estimate(g, op, fa, aCols, bCols, sched, dev, gpu.WithMaxSampledBlocks(16))
+		if err != nil {
+			return false
+		}
+		ok := metrics.Cycles >= dev.LaunchOverheadCycles &&
+			metrics.Occupancy >= 0 && metrics.Occupancy <= 1 &&
+			metrics.SMEfficiency >= 0 && metrics.SMEfficiency <= 1 &&
+			metrics.L1HitRate >= 0 && metrics.L1HitRate <= 1 &&
+			metrics.L2HitRate >= 0 && metrics.L2HitRate <= 1 &&
+			metrics.Transactions >= 0 && metrics.Insts >= 0
+		if !ok {
+			t.Logf("bad metrics: %+v (op=%s sched=%v)", metrics, op, sched)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAtomicAnalysisSoundness: whenever the plan decides atomics are
+// unnecessary, different schedules of the same vertex-output operator still
+// agree — i.e. there really are no races that a lock-free execution would
+// lose. (Functional execution is sequential, so the real assertion is that
+// NeedsAtomic is true exactly for edge-parallel vertex outputs.)
+func TestQuickAtomicAnalysisSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		op := randomRegistryOp(rng)
+		sched := randomSchedule(rng)
+		p, err := Compile(op, sched)
+		if err != nil {
+			return false
+		}
+		wantAtomic := op.CKind == tensor.DstV && !sched.Strategy.VertexParallel()
+		return p.NeedsAtomic == wantAtomic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTileGeometry: tileChunks/tileElems partition the feature dimension
+// exactly across tiles, for all widths and tile counts.
+func TestTileGeometry(t *testing.T) {
+	dev := gpu.V100()
+	for _, feat := range []int{1, 5, 31, 32, 33, 64, 100, 127, 128, 1000} {
+		for _, tile := range []int{1, 2, 3, 4, 7, 8, 16, 64} {
+			p := MustCompile(ops.AggrSum, Schedule{Strategy: WarpVertex, Group: 1, Tile: tile})
+			m := newModel(p, smallTestGraph(), feat, feat, 0, dev)
+			sumChunks, sumElems := 0, 0
+			for tl := 0; tl < tile; tl++ {
+				sumChunks += m.tileChunks(tl)
+				sumElems += m.tileElems(tl)
+			}
+			if sumChunks != m.featChunks {
+				t.Fatalf("feat=%d tile=%d: chunks sum %d != %d", feat, tile, sumChunks, m.featChunks)
+			}
+			if sumElems != feat {
+				t.Fatalf("feat=%d tile=%d: elems sum %d != %d", feat, tile, sumElems, feat)
+			}
+		}
+	}
+}
+
+// TestUnitSplitCoversItems: across all units of one tile, every item is
+// covered exactly once.
+func TestUnitSplitCoversItems(t *testing.T) {
+	dev := gpu.V100()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		g := testGraphQuick(rng, n, rng.Intn(1000))
+		sched := randomSchedule(rng)
+		p := MustCompile(ops.AggrSum, sched)
+		m := newModel(p, g, 16, 16, 0, dev)
+
+		covered := make([]int, m.items)
+		for unit := 0; unit < m.units; unit++ {
+			tile, first, count := m.unitSplit(unit)
+			if tile != 0 {
+				continue // count only tile 0's coverage
+			}
+			for i := first; i < first+count; i++ {
+				covered[i]++
+			}
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("trial %d (%v): item %d covered %d times", trial, sched, i, c)
+			}
+		}
+	}
+}
+
+// TestFootprintMatchesOperands: the footprint equals the sum of operand and
+// index array bytes for a known configuration.
+func TestFootprintMatchesOperands(t *testing.T) {
+	g := smallTestGraph() // 10 vertices, 20 edges
+	dev := gpu.V100()
+	v, e := int64(g.NumVertices()), int64(g.NumEdges())
+
+	// Fused aggregation, vertex-parallel: A (V x 8), C (V x 8), inPtr, inSrc.
+	p := MustCompile(ops.AggrSum, Schedule{Strategy: WarpVertex, Group: 1, Tile: 1})
+	m := newModel(p, g, 8, 8, 0, dev)
+	want := v*8*4 + v*8*4 + (v+1+e)*4
+	if got := m.Footprint(); got != want {
+		t.Errorf("WV footprint = %d, want %d", got, want)
+	}
+
+	// Edge-parallel weighted aggregation: A (V x 8), B (E x 1), C (V x 8),
+	// edgeSrc+edgeDst.
+	p2 := MustCompile(ops.WeightedAggrSum, Schedule{Strategy: WarpEdge, Group: 1, Tile: 1})
+	m2 := newModel(p2, g, 8, 8, 1, dev)
+	want2 := v*8*4 + e*1*4 + v*8*4 + 2*e*4
+	if got := m2.Footprint(); got != want2 {
+		t.Errorf("WE footprint = %d, want %d", got, want2)
+	}
+
+	// Message creation under vertex-parallel additionally reads inEdges.
+	p3 := MustCompile(ops.CopyU, Schedule{Strategy: ThreadVertex, Group: 1, Tile: 1})
+	m3 := newModel(p3, g, 8, 8, 0, dev)
+	want3 := v*8*4 + e*8*4 + (v+1+e)*4 + e*4
+	if got := m3.Footprint(); got != want3 {
+		t.Errorf("TV msgc footprint = %d, want %d", got, want3)
+	}
+}
+
+func smallTestGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(99))
+	return testGraphQuick(rng, 10, 20)
+}
+
+// TestLog2Ceil pins the helper.
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 32: 5}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package gbdt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Serialisation of fitted models, so a predictor trained once (the paper's
+// one-off offline training) can be reused across processes.
+
+type nodeDTO struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int32   `json:"l"`
+	Right     int32   `json:"r"`
+	Value     float64 `json:"v"`
+}
+
+type treeDTO struct {
+	Nodes []nodeDTO `json:"nodes"`
+}
+
+type modelDTO struct {
+	Base  float64   `json:"base"`
+	LR    float64   `json:"lr"`
+	Trees []treeDTO `json:"trees"`
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	dto := modelDTO{Base: m.Base, LR: m.LR}
+	for _, t := range m.Trees {
+		td := treeDTO{Nodes: make([]nodeDTO, len(t.nodes))}
+		for i, n := range t.nodes {
+			td.Nodes[i] = nodeDTO{Feature: n.feature, Threshold: n.threshold, Left: n.left, Right: n.right, Value: n.value}
+		}
+		dto.Trees = append(dto.Trees, td)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(dto)
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var dto modelDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("gbdt: decode model: %w", err)
+	}
+	m := &Model{Base: dto.Base, LR: dto.LR}
+	for _, td := range dto.Trees {
+		t := &Tree{nodes: make([]node, len(td.Nodes))}
+		for i, n := range td.Nodes {
+			if n.Feature >= 0 {
+				if n.Left < 0 || int(n.Left) >= len(td.Nodes) || n.Right < 0 || int(n.Right) >= len(td.Nodes) {
+					return nil, fmt.Errorf("gbdt: corrupt tree: child out of range")
+				}
+			}
+			t.nodes[i] = node{feature: n.Feature, threshold: n.Threshold, left: n.Left, right: n.Right, value: n.Value}
+		}
+		if len(t.nodes) == 0 {
+			return nil, fmt.Errorf("gbdt: corrupt tree: empty")
+		}
+		m.Trees = append(m.Trees, t)
+	}
+	return m, nil
+}

@@ -1,0 +1,75 @@
+package gbdt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	X, y := makeData(300, func(x []float64) float64 { return 3*x[0] - x[1] }, 2, 21)
+	m, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Base != m.Base || m2.LR != m.LR || len(m2.Trees) != len(m.Trees) {
+		t.Fatal("model metadata lost")
+	}
+	for _, probe := range [][]float64{{0, 0}, {1.5, -2}, {-4, 4}} {
+		if m.Predict(probe) != m2.Predict(probe) {
+			t.Fatalf("prediction differs after round trip at %v", probe)
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"not json at all",
+		`{"base":0,"lr":0.1,"trees":[{"nodes":[]}]}`,
+		`{"base":0,"lr":0.1,"trees":[{"nodes":[{"f":0,"t":1,"l":99,"r":0,"v":0}]}]}`,
+		`{"base":0,"lr":0.1,"trees":[{"nodes":[{"f":0,"t":1,"l":0,"r":-2,"v":0}]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail to load", i)
+		}
+	}
+}
+
+func TestLoadLeafOnlyTree(t *testing.T) {
+	// A single-leaf tree (feature -1) is valid regardless of child indices.
+	m, err := Load(strings.NewReader(
+		`{"base":2,"lr":0.5,"trees":[{"nodes":[{"f":-1,"t":0,"l":0,"r":0,"v":6}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{123}); got != 2+0.5*6 {
+		t.Fatalf("Predict = %v, want 5", got)
+	}
+}
+
+func TestSortedImportanceStable(t *testing.T) {
+	X, y := makeData(400, func(x []float64) float64 { return x[2] * 5 }, 5, 22)
+	m, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := m.SortedImportance(5)
+	o2 := m.SortedImportance(5)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("importance ordering unstable")
+		}
+	}
+	if o1[0] != 2 {
+		t.Errorf("dominant feature should rank first, got %v", o1)
+	}
+}

@@ -1,0 +1,38 @@
+package gpu
+
+// Dense-operator cost model. GNN models interleave graph operators with
+// dense DNN operators (GEMM for feature transforms, element-wise epilogues).
+// uGrapher does not optimise these — it targets graph operators only — but
+// the end-to-end experiments (Figs. 13-15) need their cost: the paper
+// explains per-model speedup differences by the share of time spent in GEMM
+// (e.g. SageMax is GEMM-heavy, so its overall speedup is smaller, and A100's
+// tensor cores shrink the GEMM share, raising uGrapher's relative gain).
+
+// GEMMCycles estimates the cycles of an m x k by k x n GEMM on d, assuming a
+// well-tuned vendor kernel: peak FP32 (or tensor core) throughput floored by
+// DRAM traffic for the operands and output.
+func GEMMCycles(d *Device, m, k, n int) float64 {
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	peak := d.FP32PerCycle * d.TensorCoreSpeedup
+	// Real GEMMs sustain a fraction of peak; small/skinny shapes less.
+	eff := 0.75
+	if m < 1024 || n < 64 {
+		eff = 0.45
+	}
+	compute := flops / (peak * eff)
+	bytes := 4 * (float64(m)*float64(k) + float64(k)*float64(n) + float64(m)*float64(n))
+	mem := bytes / d.DRAMBytesPerCycle
+	c := compute
+	if mem > c {
+		c = mem
+	}
+	return c + d.LaunchOverheadCycles
+}
+
+// ElementwiseCycles estimates a streaming element-wise op over count
+// elements reading reads arrays and writing one (bias add, ReLU, ...).
+// These are bandwidth-bound.
+func ElementwiseCycles(d *Device, count int, reads int) float64 {
+	bytes := 4 * float64(count) * float64(reads+1)
+	return bytes/d.DRAMBytesPerCycle + d.LaunchOverheadCycles
+}

@@ -1,0 +1,121 @@
+// Package gpu is a deterministic GPU execution-model simulator.
+//
+// The paper evaluates uGrapher on real NVIDIA V100 and A100 GPUs; this
+// package is the substitution (see DESIGN.md): it models the mechanisms that
+// the paper's schedule trade-offs act through —
+//
+//   - parallelism: blocks/warps vs SM count and per-SM warp capacity
+//     (occupancy, latency hiding),
+//   - locality: per-SM L1 and shared L2 set-associative LRU caches fed by
+//     coalesced warp-level access traces,
+//   - work-efficiency: instruction overhead of grouping/tiling and
+//     serialised atomic read-modify-write traffic,
+//   - load balance: per-block work summaries scheduled onto SMs (skewed
+//     degree distributions make some blocks heavy, idling other SMs).
+//
+// Times are reported in device cycles; they are not calibrated to wall-clock
+// microseconds, but ratios between schedules are meaningful, which is what
+// every experiment in the paper compares.
+package gpu
+
+// Device describes a simulated GPU. All throughputs are per device cycle.
+type Device struct {
+	Name            string
+	NumSMs          int
+	WarpSize        int
+	MaxWarpsPerSM   int // resident-warp capacity (occupancy denominator)
+	MaxBlocksPerSM  int
+	ThreadsPerBlock int // launch configuration used by all kernels
+
+	L1Bytes   int // per-SM L1/shared-memory carveout used as cache
+	L2Bytes   int // device-wide L2
+	LineBytes int // cache line granularity for coalescing and caching
+
+	// Latencies in cycles.
+	L1Latency   float64
+	L2Latency   float64
+	DRAMLatency float64
+
+	// Throughputs.
+	IssuePerSM        float64 // warp-instructions issued per cycle per SM
+	L1PerSM           float64 // L1 transactions served per cycle per SM
+	L2BytesPerCycle   float64 // device-wide L2 bandwidth
+	DRAMBytesPerCycle float64 // device-wide DRAM bandwidth
+	// AtomicBytesPerCycle is the device-wide throughput of atomic
+	// read-modify-write traffic at the L2 (atomics resolve there).
+	AtomicBytesPerCycle float64
+	// FP32PerCycle is device-wide peak fused multiply-add lanes (dense ops).
+	FP32PerCycle float64
+	// TensorCoreSpeedup multiplies dense GEMM throughput (A100 TF32 cores;
+	// the paper notes A100's faster GEMM shrinks the dense share and raises
+	// uGrapher's end-to-end speedup there).
+	TensorCoreSpeedup float64
+	// HidingWarps is the number of resident warps per SM needed to fully
+	// hide memory latency; below it, exposed latency inflates SM time.
+	HidingWarps float64
+	// LaunchOverheadCycles models the fixed kernel-launch cost.
+	LaunchOverheadCycles float64
+}
+
+// V100 models the Tesla V100 (80 SMs) used in the paper's Table 8.
+func V100() *Device {
+	return &Device{
+		Name:            "V100",
+		NumSMs:          80,
+		WarpSize:        32,
+		MaxWarpsPerSM:   64,
+		MaxBlocksPerSM:  32,
+		ThreadsPerBlock: 256,
+
+		L1Bytes:   128 << 10,
+		L2Bytes:   6 << 20,
+		LineBytes: 128,
+
+		L1Latency:   28,
+		L2Latency:   193,
+		DRAMLatency: 400,
+
+		IssuePerSM:           2,
+		L1PerSM:              1,
+		L2BytesPerCycle:      1700, // ~2.4 TB/s at 1.38 GHz
+		DRAMBytesPerCycle:    650,  // ~0.9 TB/s
+		AtomicBytesPerCycle:  256,
+		FP32PerCycle:         10240, // 80 SM x 64 lanes x 2 (FMA)
+		TensorCoreSpeedup:    1,
+		HidingWarps:          16,
+		LaunchOverheadCycles: 2000,
+	}
+}
+
+// A100 models the Ampere A100 (108 SMs).
+func A100() *Device {
+	return &Device{
+		Name:            "A100",
+		NumSMs:          108,
+		WarpSize:        32,
+		MaxWarpsPerSM:   64,
+		MaxBlocksPerSM:  32,
+		ThreadsPerBlock: 256,
+
+		L1Bytes:   192 << 10,
+		L2Bytes:   40 << 20,
+		LineBytes: 128,
+
+		L1Latency:   30,
+		L2Latency:   200,
+		DRAMLatency: 380,
+
+		IssuePerSM:           2,
+		L1PerSM:              1,
+		L2BytesPerCycle:      3500, // ~5 TB/s at 1.41 GHz
+		DRAMBytesPerCycle:    1100, // ~1.55 TB/s
+		AtomicBytesPerCycle:  512,
+		FP32PerCycle:         13824, // 108 SM x 64 lanes x 2
+		TensorCoreSpeedup:    4,     // TF32 tensor cores accelerate GEMM
+		HidingWarps:          16,
+		LaunchOverheadCycles: 2000,
+	}
+}
+
+// WarpsPerBlock derives the warps in one thread block.
+func (d *Device) WarpsPerBlock() int { return d.ThreadsPerBlock / d.WarpSize }

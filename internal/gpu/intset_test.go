@@ -1,0 +1,104 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLineSetBasics(t *testing.T) {
+	s := newLineSet(4)
+	if !s.Add(10) {
+		t.Fatal("first insert should be new")
+	}
+	if s.Add(10) {
+		t.Fatal("second insert should not be new")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Add(0) {
+		t.Fatal("zero must be storable")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestLineSetGrowth(t *testing.T) {
+	s := newLineSet(1)
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		if !s.Add(i * 131) {
+			t.Fatalf("value %d reported duplicate", i)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	// All values still present after growth.
+	for i := int64(0); i < n; i++ {
+		if s.Add(i * 131) {
+			t.Fatalf("value %d lost during growth", i)
+		}
+	}
+}
+
+func TestLineSetMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := newLineSet(16)
+	ref := map[int64]bool{}
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.Intn(5000))
+		wantNew := !ref[v]
+		ref[v] = true
+		if got := s.Add(v); got != wantNew {
+			t.Fatalf("Add(%d) = %v, want %v", v, got, wantNew)
+		}
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(ref))
+	}
+}
+
+func TestWithMaxWorkBlocksSampling(t *testing.T) {
+	d := V100()
+	w := BlockWork{Insts: 100, Transactions: 10, ActiveWarps: 8}
+	k := fakeKernel{blocks: 100000, warps: 8, work: w, lineSpread: 8}
+	exact := Simulate(d, k, WithMaxWorkBlocks(200000)) // full accounting
+	sampled := Simulate(d, k, WithMaxWorkBlocks(1000)) // 1% work sample
+	// Uniform blocks: sampling must reproduce totals within rounding.
+	if ratio := sampled.Insts / exact.Insts; ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("sampled insts ratio %v", ratio)
+	}
+	if ratio := sampled.Cycles / exact.Cycles; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("sampled cycles ratio %v", ratio)
+	}
+}
+
+func TestTraceLineBudget(t *testing.T) {
+	d := V100()
+	w := BlockWork{Insts: 100, Transactions: 1000, ActiveWarps: 8}
+	// Each block traces 100k lines; the 1M default budget stops after ~10
+	// blocks instead of 192.
+	k := fakeKernel{blocks: 500, warps: 8, work: w, lineSpread: 100000}
+	m := Simulate(d, k)
+	if m.SampledBlocks >= 192 {
+		t.Errorf("budget should cap sampled blocks, got %d", m.SampledBlocks)
+	}
+	if m.SampledBlocks == 0 {
+		t.Error("at least one block must be traced")
+	}
+	if m.L2HitRate < 0 || m.L2HitRate > 1 {
+		t.Errorf("hit rate broken under budget: %v", m.L2HitRate)
+	}
+}
+
+func TestGEMMEfficiencyBranch(t *testing.T) {
+	d := V100()
+	// Small shapes get the lower-efficiency branch: per-flop cost is higher.
+	bigPerFlop := GEMMCycles(d, 100000, 512, 512) / (2 * 100000 * 512 * 512)
+	smallPerFlop := GEMMCycles(d, 256, 512, 32) / (2 * 256 * 512 * 32)
+	if smallPerFlop <= bigPerFlop {
+		t.Errorf("small GEMM per-flop cost %v should exceed large %v", smallPerFlop, bigPerFlop)
+	}
+}

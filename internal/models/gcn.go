@@ -1,0 +1,68 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// GCN is the two-layer graph convolutional network of Kipf & Welling, with
+// the paper-default hidden width 16. Each layer transforms features densely
+// then runs the weighted-aggr-sum graph operator (u_mul_e + sum — the
+// paper's §2.2 heavyweight example) with normalised edge weights.
+type GCN struct {
+	Hidden int
+	Layers int
+}
+
+// NewGCN returns the default 2-layer, hidden-16 configuration.
+func NewGCN() *GCN { return &GCN{Hidden: 16, Layers: 2} }
+
+// Name implements Model.
+func (m *GCN) Name() string { return "GCN" }
+
+func (m *GCN) run(e *exec, h vt, classes int) vt {
+	w := e.edgeScalar()
+	for l := 0; l < m.Layers; l++ {
+		out := m.Hidden
+		if l == m.Layers-1 {
+			out = classes
+		}
+		tag := fmt.Sprintf("GCN_L%d", l+1)
+		h = e.gemm(tag+"_xw", h, out)
+		h = e.fusedAggr(tag+"_Aggr", ops.EdgeMul, ops.GatherSum,
+			asKind(h, tensor.SrcV), w, out)
+		h = e.elementwise(tag+"_bias_relu", h, 1, func(d *tensor.Dense) {
+			tensor.ReLU(d)
+		})
+	}
+	return h
+}
+
+// InferenceCost implements Model.
+func (m *GCN) InferenceCost(g *graph.Graph, inFeat, classes int, eng Engine) (CostReport, error) {
+	e := newExec(g, eng, false, m.Name())
+	m.run(e, vt{kind: tensor.SrcV, cols: inFeat}, classes)
+	return e.finish()
+}
+
+// Forward implements Model.
+func (m *GCN) Forward(g *graph.Graph, x *tensor.Dense, classes int, eng Engine) (*tensor.Dense, error) {
+	e := newExec(g, eng, true, m.Name())
+	h := m.run(e, e.input(x, x.Cols), classes)
+	if _, err := e.finish(); err != nil {
+		return nil, err
+	}
+	return h.data, nil
+}
+
+// trainingCost implements the models.TrainingCost extension: the same stage
+// pipeline with backward kernels charged per stage.
+func (m *GCN) trainingCost(g *graph.Graph, inFeat, classes int, eng Engine) (CostReport, error) {
+	e := newExec(g, eng, false, m.Name())
+	e.enableTraining()
+	m.run(e, vt{kind: tensor.SrcV, cols: inFeat}, classes)
+	return e.finish()
+}

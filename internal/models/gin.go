@@ -1,0 +1,74 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// GIN is the graph isomorphism network of Xu et al. with the paper-default
+// five layers and hidden width 64. Each layer sums neighbour features
+// (aggregation-sum — the Table 9 GIN_L*_Aggr operators), mixes in the
+// centre vertex with (1+eps), and applies an MLP.
+type GIN struct {
+	Hidden int
+	Layers int
+	Eps    float32
+}
+
+// NewGIN returns the default 5-layer, hidden-64 configuration.
+func NewGIN() *GIN { return &GIN{Hidden: 64, Layers: 5, Eps: 0.1} }
+
+// Name implements Model.
+func (m *GIN) Name() string { return "GIN" }
+
+func (m *GIN) run(e *exec, h vt, classes int) vt {
+	for l := 0; l < m.Layers; l++ {
+		out := m.Hidden
+		if l == m.Layers-1 {
+			out = classes
+		}
+		tag := fmt.Sprintf("GIN_L%d", l+1)
+		s := e.unweightedAggr(tag+"_Aggr", ops.GatherSum, h, h.cols)
+		// (1+eps)*h + s, then the MLP.
+		centre := h
+		h = e.elementwise(tag+"_eps_add", s, 1, func(d *tensor.Dense) {
+			if centre.data != nil {
+				for i := range d.Data {
+					d.Data[i] += (1 + m.Eps) * centre.data.Data[i]
+				}
+			}
+		})
+		h = e.gemm(tag+"_mlp", h, out)
+		h = e.elementwise(tag+"_relu", h, 0, func(d *tensor.Dense) { tensor.ReLU(d) })
+	}
+	return h
+}
+
+// InferenceCost implements Model.
+func (m *GIN) InferenceCost(g *graph.Graph, inFeat, classes int, eng Engine) (CostReport, error) {
+	e := newExec(g, eng, false, m.Name())
+	m.run(e, vt{kind: tensor.SrcV, cols: inFeat}, classes)
+	return e.finish()
+}
+
+// Forward implements Model.
+func (m *GIN) Forward(g *graph.Graph, x *tensor.Dense, classes int, eng Engine) (*tensor.Dense, error) {
+	e := newExec(g, eng, true, m.Name())
+	h := m.run(e, e.input(x, x.Cols), classes)
+	if _, err := e.finish(); err != nil {
+		return nil, err
+	}
+	return h.data, nil
+}
+
+// trainingCost implements the models.TrainingCost extension: the same stage
+// pipeline with backward kernels charged per stage.
+func (m *GIN) trainingCost(g *graph.Graph, inFeat, classes int, eng Engine) (CostReport, error) {
+	e := newExec(g, eng, false, m.Name())
+	e.enableTraining()
+	m.run(e, vt{kind: tensor.SrcV, cols: inFeat}, classes)
+	return e.finish()
+}

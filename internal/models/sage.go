@@ -1,0 +1,85 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Sage is GraphSage (Hamilton et al.) with its original hidden width 256 and
+// two layers, parameterised by aggregator — the paper evaluates SageSum,
+// SageMax and SageMean as separate benchmarks. Each layer aggregates
+// neighbour features (an unweighted aggregation: the §2.2 lightweight
+// operator), concatenates with the centre features and applies a linear
+// transform. The wide hidden dimension makes the dense GEMM share large,
+// which is why the paper's per-model speedups are smallest for SageMax.
+type Sage struct {
+	Aggregator ops.GatherOp
+	Hidden     int
+	Layers     int
+}
+
+// NewSage returns the default 2-layer, hidden-256 configuration with the
+// given aggregator (GatherSum, GatherMax or GatherMean).
+func NewSage(agg ops.GatherOp) *Sage {
+	return &Sage{Aggregator: agg, Hidden: 256, Layers: 2}
+}
+
+// Name implements Model, using the paper's abbreviations: SSum, SMax, SMean.
+func (m *Sage) Name() string {
+	switch m.Aggregator {
+	case ops.GatherMax:
+		return "SMax"
+	case ops.GatherMean:
+		return "SMean"
+	default:
+		return "SSum"
+	}
+}
+
+func (m *Sage) run(e *exec, h vt, classes int) vt {
+	for l := 0; l < m.Layers; l++ {
+		out := m.Hidden
+		if l == m.Layers-1 {
+			out = classes
+		}
+		tag := fmt.Sprintf("SageL%d", l+1)
+		s := e.unweightedAggr(tag+"_Aggr", m.Aggregator, h, h.cols)
+		// concat(h, s) @ W: charged as a single GEMM with K = 2 x cols.
+		cat := vt{kind: tensor.SrcV, cols: h.cols * 2}
+		if e.functional {
+			cat.data = tensor.Concat(h.data, s.data)
+		}
+		h = e.gemm(tag+"_w_concat", cat, out)
+		h = e.elementwise(tag+"_relu", h, 0, func(d *tensor.Dense) { tensor.ReLU(d) })
+	}
+	return h
+}
+
+// InferenceCost implements Model.
+func (m *Sage) InferenceCost(g *graph.Graph, inFeat, classes int, eng Engine) (CostReport, error) {
+	e := newExec(g, eng, false, m.Name())
+	m.run(e, vt{kind: tensor.SrcV, cols: inFeat}, classes)
+	return e.finish()
+}
+
+// Forward implements Model.
+func (m *Sage) Forward(g *graph.Graph, x *tensor.Dense, classes int, eng Engine) (*tensor.Dense, error) {
+	e := newExec(g, eng, true, m.Name())
+	h := m.run(e, e.input(x, x.Cols), classes)
+	if _, err := e.finish(); err != nil {
+		return nil, err
+	}
+	return h.data, nil
+}
+
+// trainingCost implements the models.TrainingCost extension: the same stage
+// pipeline with backward kernels charged per stage.
+func (m *Sage) trainingCost(g *graph.Graph, inFeat, classes int, eng Engine) (CostReport, error) {
+	e := newExec(g, eng, false, m.Name())
+	e.enableTraining()
+	m.run(e, vt{kind: tensor.SrcV, cols: inFeat}, classes)
+	return e.finish()
+}

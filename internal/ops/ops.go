@@ -1,0 +1,298 @@
+// Package ops defines the operator vocabulary of uGrapher's unified graph
+// operator abstraction (paper §3.2, Fig. 5): the element-wise edge_op, the
+// edge-to-vertex gather_op, and the OpInfo descriptor that — together with
+// three typed tensors — captures the complete semantics of any GNN graph
+// operator (Table 4).
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// EdgeOp is the edge-wise computation ψ applied to the A and B operands for
+// each edge (the paper's edge_op_list).
+type EdgeOp uint8
+
+const (
+	// EdgeNull marks a skipped edge stage; the B operand feeds gather directly.
+	EdgeNull EdgeOp = iota
+	// CopyLHS forwards the A operand.
+	CopyLHS
+	// CopyRHS forwards the B operand.
+	CopyRHS
+	// EdgeAdd computes A + B.
+	EdgeAdd
+	// EdgeSub computes A - B.
+	EdgeSub
+	// EdgeMul computes A * B.
+	EdgeMul
+	// EdgeDiv computes A / B.
+	EdgeDiv
+)
+
+// edgeOpNames uses the paper's spellings.
+var edgeOpNames = [...]string{"null", "copy_lhs", "copy_rhs", "add", "sub", "mul", "div"}
+
+// String returns the paper's name for the op.
+func (op EdgeOp) String() string {
+	if int(op) < len(edgeOpNames) {
+		return edgeOpNames[op]
+	}
+	return fmt.Sprintf("EdgeOp(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined edge op.
+func (op EdgeOp) Valid() bool { return int(op) < len(edgeOpNames) }
+
+// IsBinary reports whether op reads both operands.
+func (op EdgeOp) IsBinary() bool { return op >= EdgeAdd }
+
+// Apply evaluates the op on scalar operands.
+func (op EdgeOp) Apply(a, b float32) float32 {
+	switch op {
+	case CopyLHS:
+		return a
+	case CopyRHS, EdgeNull:
+		return b
+	case EdgeAdd:
+		return a + b
+	case EdgeSub:
+		return a - b
+	case EdgeMul:
+		return a * b
+	case EdgeDiv:
+		return a / b
+	default:
+		panic(fmt.Sprintf("ops: invalid edge op %d", op))
+	}
+}
+
+// FLOPs returns the floating-point operations one application costs; copies
+// cost zero arithmetic (they are pure data movement).
+func (op EdgeOp) FLOPs() int {
+	if op.IsBinary() {
+		return 1
+	}
+	return 0
+}
+
+// ParseEdgeOp resolves a paper-spelled name ("mul", "copy_lhs", ...).
+func ParseEdgeOp(name string) (EdgeOp, error) {
+	for i, n := range edgeOpNames {
+		if n == name {
+			return EdgeOp(i), nil
+		}
+	}
+	return 0, fmt.Errorf("ops: unknown edge op %q", name)
+}
+
+// GatherOp is the edge-to-vertex reduction ρ (the paper's gather_op_list).
+// GatherCopyLHS/GatherCopyRHS mark operators whose output is per-edge (no
+// reduction), i.e. message-creation operators.
+type GatherOp uint8
+
+const (
+	// GatherNull marks a skipped gather stage.
+	GatherNull GatherOp = iota
+	// GatherCopyLHS writes the current accumulator (used when output is per-edge).
+	GatherCopyLHS
+	// GatherCopyRHS writes the incoming edge value without reduction.
+	GatherCopyRHS
+	// GatherSum accumulates by addition.
+	GatherSum
+	// GatherMax keeps the element-wise maximum.
+	GatherMax
+	// GatherMin keeps the element-wise minimum.
+	GatherMin
+	// GatherMean accumulates by addition then divides by in-degree.
+	GatherMean
+)
+
+var gatherOpNames = [...]string{"null", "copy_lhs", "copy_rhs", "sum", "max", "min", "mean"}
+
+// String returns the paper's name for the op.
+func (op GatherOp) String() string {
+	if int(op) < len(gatherOpNames) {
+		return gatherOpNames[op]
+	}
+	return fmt.Sprintf("GatherOp(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined gather op.
+func (op GatherOp) Valid() bool { return int(op) < len(gatherOpNames) }
+
+// IsReduction reports whether op folds many edge values into one vertex value.
+func (op GatherOp) IsReduction() bool { return op >= GatherSum }
+
+// Identity returns the reduction identity element (0 for sum/mean, -inf for
+// max, +inf for min). Panics for non-reductions.
+func (op GatherOp) Identity() float32 {
+	switch op {
+	case GatherSum, GatherMean:
+		return 0
+	case GatherMax:
+		return float32(math.Inf(-1))
+	case GatherMin:
+		return float32(math.Inf(1))
+	default:
+		panic(fmt.Sprintf("ops: %s has no identity", op))
+	}
+}
+
+// Combine folds the incoming edge value v into accumulator acc.
+func (op GatherOp) Combine(acc, v float32) float32 {
+	switch op {
+	case GatherSum, GatherMean:
+		return acc + v
+	case GatherMax:
+		if v > acc {
+			return v
+		}
+		return acc
+	case GatherMin:
+		if v < acc {
+			return v
+		}
+		return acc
+	case GatherCopyRHS, GatherNull:
+		return v
+	case GatherCopyLHS:
+		return acc
+	default:
+		panic(fmt.Sprintf("ops: invalid gather op %d", op))
+	}
+}
+
+// FLOPs returns the arithmetic cost of one Combine.
+func (op GatherOp) FLOPs() int {
+	if op.IsReduction() {
+		return 1
+	}
+	return 0
+}
+
+// ParseGatherOp resolves a paper-spelled name ("sum", "max", ...).
+func ParseGatherOp(name string) (GatherOp, error) {
+	for i, n := range gatherOpNames {
+		if n == name {
+			return GatherOp(i), nil
+		}
+	}
+	return 0, fmt.Errorf("ops: unknown gather op %q", name)
+}
+
+// Class is the paper's three-way classification of graph operators (Table 2).
+type Class uint8
+
+const (
+	// MessageCreation produces an edge tensor from vertex/edge tensors.
+	MessageCreation Class = iota
+	// MessageAggregation reduces an edge tensor into a vertex tensor.
+	MessageAggregation
+	// FusedAggregation fuses creation into aggregation: vertex/edge inputs,
+	// vertex output, no materialised messages.
+	FusedAggregation
+)
+
+// String names the class as in Table 2.
+func (c Class) String() string {
+	switch c {
+	case MessageCreation:
+		return "Message Creation"
+	case MessageAggregation:
+		return "Message Aggregation"
+	case FusedAggregation:
+		return "Fused Aggregation"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// OpInfo is the operator descriptor of the uGrapher API (paper Fig. 9):
+// edge_op, gather_op, and the graph-semantic kinds of operands A, B and
+// output C. It fully determines computation and addressing; no kernel code
+// is attached.
+type OpInfo struct {
+	Name     string // optional human label, e.g. "GAT_L1_MsgC"
+	EdgeOp   EdgeOp
+	GatherOp GatherOp
+	AKind    tensor.Kind
+	BKind    tensor.Kind
+	CKind    tensor.Kind
+}
+
+// Class derives the Table 2 classification from the operand kinds.
+func (oi OpInfo) Class() (Class, error) {
+	if err := oi.Validate(); err != nil {
+		return 0, err
+	}
+	if oi.CKind == tensor.EdgeK {
+		return MessageCreation, nil
+	}
+	// C is a vertex tensor: aggregation. Fused iff any input is a vertex tensor.
+	if oi.AKind.IsVertex() || oi.BKind.IsVertex() {
+		return FusedAggregation, nil
+	}
+	return MessageAggregation, nil
+}
+
+// Validate checks that the descriptor is one of the legal combinations of
+// Table 4. The rules:
+//   - C must be Edge (message creation) or Dst_V (aggregation); never Src_V/Null.
+//   - Binary edge ops need both operands; copies need exactly the copied one.
+//   - Aggregations need a reducing gather op; message creation must not reduce.
+func (oi OpInfo) Validate() error {
+	if !oi.EdgeOp.Valid() {
+		return fmt.Errorf("ops: invalid edge op %d", oi.EdgeOp)
+	}
+	if !oi.GatherOp.Valid() {
+		return fmt.Errorf("ops: invalid gather op %d", oi.GatherOp)
+	}
+	switch oi.CKind {
+	case tensor.EdgeK:
+		if oi.GatherOp.IsReduction() {
+			return fmt.Errorf("ops: message creation cannot use reducing gather %s", oi.GatherOp)
+		}
+	case tensor.DstV:
+		if !oi.GatherOp.IsReduction() {
+			return fmt.Errorf("ops: vertex output requires a reducing gather, got %s", oi.GatherOp)
+		}
+	default:
+		return fmt.Errorf("ops: output kind must be Edge or Dst_V, got %s", oi.CKind)
+	}
+	switch oi.EdgeOp {
+	case CopyLHS:
+		if oi.AKind == tensor.Null {
+			return fmt.Errorf("ops: copy_lhs requires operand A")
+		}
+		if oi.BKind != tensor.Null {
+			return fmt.Errorf("ops: copy_lhs must leave operand B null")
+		}
+	case CopyRHS, EdgeNull:
+		if oi.BKind == tensor.Null {
+			return fmt.Errorf("ops: %s requires operand B", oi.EdgeOp)
+		}
+		if oi.AKind != tensor.Null {
+			return fmt.Errorf("ops: %s must leave operand A null", oi.EdgeOp)
+		}
+	default: // binary
+		if oi.AKind == tensor.Null || oi.BKind == tensor.Null {
+			return fmt.Errorf("ops: binary edge op %s requires both operands", oi.EdgeOp)
+		}
+	}
+	return nil
+}
+
+// String renders the descriptor compactly, e.g.
+// "mul(Src_V,Edge)->sum->Dst_V".
+func (oi OpInfo) String() string {
+	label := oi.Name
+	if label != "" {
+		label += ": "
+	}
+	return fmt.Sprintf("%s%s(%s,%s)->%s->%s",
+		label, oi.EdgeOp, oi.AKind, oi.BKind, oi.GatherOp, oi.CKind)
+}

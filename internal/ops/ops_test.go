@@ -1,0 +1,281 @@
+package ops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestEdgeOpApply(t *testing.T) {
+	cases := []struct {
+		op      EdgeOp
+		a, b, w float32
+	}{
+		{CopyLHS, 3, 7, 3},
+		{CopyRHS, 3, 7, 7},
+		{EdgeNull, 3, 7, 7},
+		{EdgeAdd, 3, 7, 10},
+		{EdgeSub, 3, 7, -4},
+		{EdgeMul, 3, 7, 21},
+		{EdgeDiv, 3, 4, 0.75},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.w {
+			t.Errorf("%s.Apply(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestEdgeOpApplyPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EdgeOp(99).Apply(1, 2)
+}
+
+func TestEdgeOpMeta(t *testing.T) {
+	if !EdgeMul.IsBinary() || CopyLHS.IsBinary() || EdgeNull.IsBinary() {
+		t.Error("IsBinary misclassifies")
+	}
+	if EdgeMul.FLOPs() != 1 || CopyLHS.FLOPs() != 0 {
+		t.Error("FLOPs wrong")
+	}
+	if !EdgeDiv.Valid() || EdgeOp(50).Valid() {
+		t.Error("Valid wrong")
+	}
+	if EdgeOp(50).String() != "EdgeOp(50)" {
+		t.Error("unknown edge op string")
+	}
+}
+
+func TestParseEdgeOpRoundTrip(t *testing.T) {
+	for op := EdgeNull; op.Valid(); op++ {
+		got, err := ParseEdgeOp(op.String())
+		if err != nil || got != op {
+			t.Errorf("ParseEdgeOp(%q) = %v, %v", op.String(), got, err)
+		}
+	}
+	if _, err := ParseEdgeOp("nope"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestGatherOpCombine(t *testing.T) {
+	if got := GatherSum.Combine(3, 4); got != 7 {
+		t.Errorf("sum: %v", got)
+	}
+	if got := GatherMean.Combine(3, 4); got != 7 {
+		t.Errorf("mean accumulates as sum: %v", got)
+	}
+	if got := GatherMax.Combine(3, 4); got != 4 {
+		t.Errorf("max: %v", got)
+	}
+	if got := GatherMax.Combine(5, 4); got != 5 {
+		t.Errorf("max keeps acc: %v", got)
+	}
+	if got := GatherMin.Combine(3, 4); got != 3 {
+		t.Errorf("min: %v", got)
+	}
+	if got := GatherCopyRHS.Combine(3, 4); got != 4 {
+		t.Errorf("copy_rhs: %v", got)
+	}
+	if got := GatherCopyLHS.Combine(3, 4); got != 3 {
+		t.Errorf("copy_lhs: %v", got)
+	}
+}
+
+func TestGatherIdentity(t *testing.T) {
+	if GatherSum.Identity() != 0 || GatherMean.Identity() != 0 {
+		t.Error("sum/mean identity")
+	}
+	if !math.IsInf(float64(GatherMax.Identity()), -1) {
+		t.Error("max identity should be -inf")
+	}
+	if !math.IsInf(float64(GatherMin.Identity()), 1) {
+		t.Error("min identity should be +inf")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for copy identity")
+		}
+	}()
+	GatherCopyRHS.Identity()
+}
+
+// Property: reductions are commutative and associative over their Combine.
+func TestQuickGatherCommutative(t *testing.T) {
+	for _, op := range []GatherOp{GatherSum, GatherMax, GatherMin} {
+		op := op
+		f := func(a, b float32) bool {
+			return op.Combine(a, b) == op.Combine(b, a)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s not commutative: %v", op, err)
+		}
+	}
+}
+
+func TestParseGatherOpRoundTrip(t *testing.T) {
+	for op := GatherNull; op.Valid(); op++ {
+		got, err := ParseGatherOp(op.String())
+		if err != nil || got != op {
+			t.Errorf("ParseGatherOp(%q) = %v, %v", op.String(), got, err)
+		}
+	}
+	if _, err := ParseGatherOp("prod"); err == nil {
+		t.Error("expected error")
+	}
+	if GatherOp(50).String() != "GatherOp(50)" {
+		t.Error("unknown gather op string")
+	}
+}
+
+func TestOpInfoValidate(t *testing.T) {
+	valid := []OpInfo{AggrSum, AggrMax, AggrMean, WeightedAggrSum, UAddV, CopyU, CopyESum, EDivV}
+	for _, oi := range valid {
+		if err := oi.Validate(); err != nil {
+			t.Errorf("%s should validate: %v", oi, err)
+		}
+	}
+	invalid := []OpInfo{
+		// Output Src_V is never legal.
+		{EdgeOp: CopyLHS, GatherOp: GatherSum, AKind: tensor.SrcV, CKind: tensor.SrcV},
+		// Message creation with a reduction.
+		{EdgeOp: CopyLHS, GatherOp: GatherSum, AKind: tensor.SrcV, CKind: tensor.EdgeK},
+		// Vertex output without a reduction.
+		{EdgeOp: CopyLHS, GatherOp: GatherCopyRHS, AKind: tensor.SrcV, CKind: tensor.DstV},
+		// copy_lhs with missing A.
+		{EdgeOp: CopyLHS, GatherOp: GatherSum, AKind: tensor.Null, CKind: tensor.DstV},
+		// copy_lhs with extra B.
+		{EdgeOp: CopyLHS, GatherOp: GatherSum, AKind: tensor.SrcV, BKind: tensor.EdgeK, CKind: tensor.DstV},
+		// Binary op with a null operand.
+		{EdgeOp: EdgeMul, GatherOp: GatherSum, AKind: tensor.SrcV, CKind: tensor.DstV},
+		// Invalid enums.
+		{EdgeOp: EdgeOp(99), GatherOp: GatherSum, AKind: tensor.SrcV, CKind: tensor.DstV},
+		{EdgeOp: CopyLHS, GatherOp: GatherOp(99), AKind: tensor.SrcV, CKind: tensor.DstV},
+	}
+	for i, oi := range invalid {
+		if err := oi.Validate(); err == nil {
+			t.Errorf("case %d (%s) should fail validation", i, oi)
+		}
+	}
+}
+
+func TestOpInfoClass(t *testing.T) {
+	cases := []struct {
+		oi   OpInfo
+		want Class
+	}{
+		{UAddV, MessageCreation},
+		{CopyU, MessageCreation},
+		{CopyESum, MessageAggregation},
+		{AggrSum, FusedAggregation},
+		{WeightedAggrSum, FusedAggregation},
+	}
+	for _, c := range cases {
+		got, err := c.oi.Class()
+		if err != nil {
+			t.Errorf("%s: %v", c.oi, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s class = %s, want %s", c.oi, got, c.want)
+		}
+	}
+	if _, err := (OpInfo{}).Class(); err == nil {
+		t.Error("invalid op should not classify")
+	}
+}
+
+// TestCensusMatchesTable2 pins the reconstructed operator space to the
+// paper's Table 2 counts.
+func TestCensusMatchesTable2(t *testing.T) {
+	want := map[[3]string]int{
+		{"Message Creation", "V", "E"}:    11,
+		{"Message Creation", "E", "E"}:    1,
+		{"Message Creation", "V&E", "E"}:  20,
+		{"Message Aggregation", "E", "V"}: 4,
+		{"Fused Aggregation", "V", "V"}:   44,
+		{"Fused Aggregation", "V&E", "V"}: 80,
+	}
+	got := map[[3]string]int{}
+	total := 0
+	for _, row := range Census() {
+		got[[3]string{row.Class.String(), row.InputKinds, row.OutputKind}] = row.Count
+		total += row.Count
+	}
+	if total != 160 {
+		t.Errorf("total operators = %d, want 160", total)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("census %v = %d, want %d", k, got[k], w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("unexpected census rows: %v", got)
+	}
+}
+
+// TestRegistryAllValid checks every enumerated operator is a legal OpInfo
+// and classifies consistently with its registry class.
+func TestRegistryAllValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if seen[e.DGLName] {
+			t.Errorf("duplicate registry name %s", e.DGLName)
+		}
+		seen[e.DGLName] = true
+		if err := e.Info.Validate(); err != nil {
+			t.Errorf("%s: %v", e.DGLName, err)
+			continue
+		}
+		cls, err := e.Info.Class()
+		if err != nil {
+			t.Errorf("%s: %v", e.DGLName, err)
+			continue
+		}
+		if cls != e.Class {
+			t.Errorf("%s: derived class %s != registry class %s", e.DGLName, cls, e.Class)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, ok := Lookup("u_mul_e.sum")
+	if !ok {
+		t.Fatal("u_mul_e.sum should exist")
+	}
+	if e.Info.EdgeOp != EdgeMul || e.Info.GatherOp != GatherSum {
+		t.Errorf("u_mul_e.sum mapped to %s", e.Info)
+	}
+	if e.Info.AKind != tensor.SrcV || e.Info.BKind != tensor.EdgeK {
+		t.Errorf("u_mul_e.sum kinds wrong: %s", e.Info)
+	}
+	if _, ok := Lookup("no_such_op"); ok {
+		t.Error("lookup of missing op should fail")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if MessageCreation.String() != "Message Creation" ||
+		MessageAggregation.String() != "Message Aggregation" ||
+		FusedAggregation.String() != "Fused Aggregation" {
+		t.Error("class strings wrong")
+	}
+	if Class(9).String() != "Class(9)" {
+		t.Error("unknown class string")
+	}
+}
+
+func TestOpInfoString(t *testing.T) {
+	s := WeightedAggrSum.String()
+	want := "weighted_aggr_sum: mul(Src_V,Edge)->sum->Dst_V"
+	if s != want {
+		t.Errorf("String() = %q, want %q", s, want)
+	}
+}

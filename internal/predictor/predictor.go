@@ -1,0 +1,269 @@
+// Package predictor implements uGrapher's adaptive strategy selection
+// (paper §5.4): a gradient-boosted model trained offline on randomly
+// sampled graphs predicts, from graph and operator features (Table 7) plus
+// schedule parameters, the cost of each candidate schedule; at run time the
+// argmin over the schedule space replaces grid search, making selection
+// effectively free (the paper reports < 0.2 ms per prediction).
+package predictor
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gbdt"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/schedule"
+)
+
+// NumFeatures is the width of the feature vector: the Table 7 features
+// (graph info: #vertex, #edge, std_nnz; operator info: edge_op, gather_op,
+// A/B/C types) plus the candidate schedule's parameters and derived launch
+// geometry.
+const NumFeatures = 16
+
+// FeatureNames documents each feature index (useful with
+// gbdt.FeatureImportance).
+var FeatureNames = [NumFeatures]string{
+	"log_vertices", "log_edges", "mean_degree", "degree_cv",
+	"edge_op", "gather_op", "a_kind", "b_kind", "c_kind",
+	"log_feat", "feat_chunks",
+	"strategy", "log_group", "log_tile",
+	"log_units", "units_per_sm",
+}
+
+// Features builds the model input for one (task, schedule) pair. Graph
+// statistics are passed in so callers can cache them per graph.
+func Features(st graph.Stats, t schedule.Task, s core.Schedule) []float64 {
+	items := st.NumVertices
+	if !s.Strategy.VertexParallel() {
+		items = st.NumEdges
+	}
+	groups := (items + s.Group - 1) / s.Group
+	units := groups * s.Tile
+	meanDeg := st.MeanInDegree
+	cv := 0.0
+	if meanDeg > 0 {
+		cv = st.StdInDegree / meanDeg
+	}
+	chunks := (t.Feat + 31) / 32
+	return []float64{
+		math.Log1p(float64(st.NumVertices)),
+		math.Log1p(float64(st.NumEdges)),
+		meanDeg,
+		cv,
+		float64(t.Op.EdgeOp),
+		float64(t.Op.GatherOp),
+		float64(t.Op.AKind),
+		float64(t.Op.BKind),
+		float64(t.Op.CKind),
+		math.Log1p(float64(t.Feat)),
+		float64(chunks),
+		float64(s.Strategy),
+		math.Log2(float64(s.Group)),
+		math.Log2(float64(s.Tile)),
+		math.Log1p(float64(units)),
+		float64(units) / float64(t.Device.NumSMs),
+	}
+}
+
+// Predictor ranks schedules by predicted cost.
+type Predictor struct {
+	Model *gbdt.Model
+
+	// statsMu guards statsCache: graph statistics are O(|V|) to compute and
+	// immutable per graph, so they are computed once — keeping repeated
+	// predictions at model-inference cost (the paper's < 0.2 ms).
+	statsMu    sync.Mutex
+	statsCache map[*graph.Graph]graph.Stats
+}
+
+// stats returns (and caches) the Table 7 graph statistics.
+func (p *Predictor) stats(g *graph.Graph) graph.Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	if p.statsCache == nil {
+		p.statsCache = map[*graph.Graph]graph.Stats{}
+	}
+	if st, ok := p.statsCache[g]; ok {
+		return st
+	}
+	st := g.ComputeStats()
+	p.statsCache[g] = st
+	return st
+}
+
+// Rank returns the candidate schedules ordered by ascending predicted
+// cycles. Graph stats are cached per graph.
+func (p *Predictor) Rank(t schedule.Task, space []core.Schedule) []core.Schedule {
+	if space == nil {
+		space = schedule.PrunedSpace(t)
+	}
+	st := p.stats(t.Graph)
+	type scored struct {
+		s core.Schedule
+		c float64
+	}
+	out := make([]scored, 0, len(space))
+	for _, s := range space {
+		if _, err := core.Compile(t.Op, s); err != nil {
+			continue
+		}
+		out = append(out, scored{s, p.Model.Predict(Features(st, t, s))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].c < out[j].c })
+	res := make([]core.Schedule, len(out))
+	for i, sc := range out {
+		res[i] = sc.s
+	}
+	return res
+}
+
+// Pick returns the predicted-best schedule, falling back to the default when
+// the space is empty.
+func (p *Predictor) Pick(t schedule.Task, space []core.Schedule) core.Schedule {
+	ranked := p.Rank(t, space)
+	if len(ranked) == 0 {
+		return core.DefaultSchedule
+	}
+	return ranked[0]
+}
+
+// Save serialises the underlying model.
+func (p *Predictor) Save(w io.Writer) error { return p.Model.Save(w) }
+
+// LoadPredictor reads a model written by Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	m, err := gbdt.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{Model: m}, nil
+}
+
+// TrainConfig controls the offline training sweep. The paper samples 128
+// random graphs from the network repository; the defaults mirror that at a
+// size that trains in seconds on the simulator.
+type TrainConfig struct {
+	NumGraphs int
+	// MaxVertices caps sampled graph size to bound training cost.
+	MaxVertices int
+	// Ops are the operators swept per graph; nil uses a representative set
+	// covering all operator classes.
+	Ops []TrainOp
+	// Feats are the feature widths swept; nil uses {8, 32, 128}.
+	Feats []int
+	// SchedulesPerTask bounds how many schedules are measured per task
+	// (selected deterministically from the pruned space).
+	SchedulesPerTask int
+	Device           *gpu.Device
+	Seed             int64
+	GBDT             gbdt.Params
+	// SampleBlocks tunes simulation fidelity during label generation.
+	SampleBlocks int
+}
+
+// DefaultTrainConfig mirrors the paper's setup at simulator scale.
+func DefaultTrainConfig(dev *gpu.Device) TrainConfig {
+	return TrainConfig{
+		NumGraphs:        128,
+		MaxVertices:      60000,
+		Feats:            []int{8, 32, 128},
+		SchedulesPerTask: 24,
+		Device:           dev,
+		Seed:             1,
+		GBDT:             gbdt.DefaultParams(),
+		SampleBlocks:     48,
+	}
+}
+
+// TrainOp pairs an operator with its operand-width convention.
+type TrainOp struct {
+	Op        ops.OpInfo
+	WidthOneB bool
+}
+
+// DefaultTrainOps cover message creation, pure aggregation and fused
+// aggregation with both light and heavy computation.
+func DefaultTrainOps() []TrainOp {
+	return []TrainOp{
+		{Op: ops.AggrSum},
+		{Op: ops.AggrMax},
+		{Op: ops.WeightedAggrSum, WidthOneB: true},
+		{Op: ops.UAddV},
+		{Op: ops.CopyESum},
+	}
+}
+
+// TrainStats summarises a training run.
+type TrainStats struct {
+	Rows     int
+	TrainMSE float64
+}
+
+// Train runs the offline pipeline: sample graphs, measure schedules on the
+// simulator, fit the model on log-cycles.
+func Train(cfg TrainConfig) (*Predictor, TrainStats, error) {
+	if cfg.Device == nil {
+		return nil, TrainStats{}, fmt.Errorf("predictor: device required")
+	}
+	if cfg.NumGraphs <= 0 {
+		return nil, TrainStats{}, fmt.Errorf("predictor: NumGraphs must be positive")
+	}
+	trainOps := cfg.Ops
+	if trainOps == nil {
+		trainOps = DefaultTrainOps()
+	}
+	feats := cfg.Feats
+	if len(feats) == 0 {
+		feats = []int{8, 32, 128}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var X [][]float64
+	var y []float64
+	for gi := 0; gi < cfg.NumGraphs; gi++ {
+		spec := datasets.RandomSpec(rng, gi)
+		if cfg.MaxVertices > 0 && spec.V > cfg.MaxVertices {
+			scale := float64(cfg.MaxVertices) / float64(spec.V)
+			spec.V = cfg.MaxVertices
+			spec.E = int(float64(spec.E) * scale)
+		}
+		g := spec.Generate()
+		st := g.ComputeStats()
+		top := trainOps[gi%len(trainOps)]
+		feat := feats[gi%len(feats)]
+		task := schedule.Task{Graph: g, Op: top.Op, Feat: feat, Device: cfg.Device}.Widths(top.WidthOneB)
+
+		space := schedule.PrunedSpace(task)
+		if cfg.SchedulesPerTask > 0 && len(space) > cfg.SchedulesPerTask {
+			// Deterministic spread over the space.
+			stride := len(space) / cfg.SchedulesPerTask
+			trimmed := make([]core.Schedule, 0, cfg.SchedulesPerTask)
+			for i := 0; i < cfg.SchedulesPerTask; i++ {
+				trimmed = append(trimmed, space[i*stride])
+			}
+			space = trimmed
+		}
+		for _, s := range space {
+			cand, err := schedule.Evaluate(task, s, gpu.WithMaxSampledBlocks(cfg.SampleBlocks))
+			if err != nil {
+				continue
+			}
+			X = append(X, Features(st, task, s))
+			y = append(y, math.Log(cand.Metrics.Cycles))
+		}
+	}
+	model, err := gbdt.Fit(X, y, cfg.GBDT)
+	if err != nil {
+		return nil, TrainStats{}, err
+	}
+	return &Predictor{Model: model}, TrainStats{Rows: len(X), TrainMSE: model.MSE(X, y)}, nil
+}

@@ -1,0 +1,190 @@
+package predictor
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/schedule"
+)
+
+var (
+	trainOnce  sync.Once
+	trainedP   *Predictor
+	trainStats TrainStats
+	trainErr   error
+)
+
+// trainSmall trains a reduced predictor once, shared across tests.
+func trainSmall(t *testing.T) *Predictor {
+	t.Helper()
+	trainOnce.Do(func() {
+		cfg := DefaultTrainConfig(gpu.V100())
+		cfg.NumGraphs = 24
+		cfg.MaxVertices = 8000
+		cfg.SchedulesPerTask = 12
+		cfg.GBDT.Rounds = 60
+		trainedP, trainStats, trainErr = Train(cfg)
+	})
+	if trainErr != nil {
+		t.Fatal(trainErr)
+	}
+	if trainStats.Rows < 100 {
+		t.Fatalf("too few training rows: %d", trainStats.Rows)
+	}
+	return trainedP
+}
+
+func testTask(t *testing.T, seed int64) schedule.Task {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 3000
+	b := graph.NewBuilder(n)
+	for i := 0; i < 30000; i++ {
+		dst := int32(rng.Intn(n))
+		if rng.Float64() < 0.5 {
+			dst = int32(rng.Intn(n / 8))
+		}
+		b.AddEdge(int32(rng.Intn(n)), dst)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schedule.Task{Graph: g, Op: ops.AggrSum, Feat: 32, Device: gpu.V100()}.Widths(false)
+}
+
+func TestFeaturesShape(t *testing.T) {
+	task := testTask(t, 1)
+	st := task.Graph.ComputeStats()
+	f := Features(st, task, core.DefaultSchedule)
+	if len(f) != NumFeatures {
+		t.Fatalf("feature vector has %d entries, want %d", len(f), NumFeatures)
+	}
+	for i, v := range f {
+		if v != v || v < -1e12 || v > 1e12 {
+			t.Errorf("feature %s = %v is not finite/sane", FeatureNames[i], v)
+		}
+	}
+	// Edge-parallel schedules see edge-scaled launch geometry.
+	fv := Features(st, task, core.Schedule{Strategy: core.ThreadVertex, Group: 1, Tile: 1})
+	fe := Features(st, task, core.Schedule{Strategy: core.WarpEdge, Group: 1, Tile: 1})
+	if fe[14] <= fv[14] {
+		t.Error("warp-edge should launch more units than thread-vertex (log_units)")
+	}
+}
+
+func TestTrainAndPredictQuality(t *testing.T) {
+	p := trainSmall(t)
+	task := testTask(t, 2)
+
+	// The predicted-best schedule should be competitive with grid search:
+	// within a small factor of the true winner, and much better than the
+	// worst schedule (the paper's Fig. 12 claim at simulator scale).
+	space := schedule.PrunedSpace(task)
+	cands := schedule.GridSearch(task, space, gpu.WithMaxSampledBlocks(48))
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	bestTrue := cands[0].Metrics.Cycles
+	worst := cands[len(cands)-1].Metrics.Cycles
+
+	pick := p.Pick(task, space)
+	picked, err := schedule.Evaluate(task, pick, gpu.WithMaxSampledBlocks(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if picked.Metrics.Cycles > bestTrue*2.5 {
+		t.Errorf("predictor pick %v costs %v, grid best %v (ratio %.2f)",
+			pick, picked.Metrics.Cycles, bestTrue, picked.Metrics.Cycles/bestTrue)
+	}
+	if picked.Metrics.Cycles > worst*0.8 {
+		t.Errorf("predictor pick is nearly the worst schedule")
+	}
+}
+
+func TestPredictorBeatsRandomChoice(t *testing.T) {
+	p := trainSmall(t)
+	rng := rand.New(rand.NewSource(9))
+	var predTotal, randTotal float64
+	for seed := int64(3); seed < 7; seed++ {
+		task := testTask(t, seed)
+		space := schedule.PrunedSpace(task)
+		pick := p.Pick(task, space)
+		pc, err := schedule.Evaluate(task, pick, gpu.WithMaxSampledBlocks(48))
+		if err != nil {
+			t.Fatal(err)
+		}
+		predTotal += pc.Metrics.Cycles
+		rc, err := schedule.Evaluate(task, space[rng.Intn(len(space))], gpu.WithMaxSampledBlocks(48))
+		if err != nil {
+			t.Fatal(err)
+		}
+		randTotal += rc.Metrics.Cycles
+	}
+	if predTotal >= randTotal {
+		t.Errorf("predictor total %v should beat random total %v", predTotal, randTotal)
+	}
+}
+
+func TestRankSkipsInvalid(t *testing.T) {
+	p := trainSmall(t)
+	task := testTask(t, 4)
+	space := []core.Schedule{
+		{Strategy: core.Strategy(9), Group: 1, Tile: 1},
+		core.DefaultSchedule,
+	}
+	ranked := p.Rank(task, space)
+	if len(ranked) != 1 {
+		t.Fatalf("invalid schedule should be skipped, got %d", len(ranked))
+	}
+	if pick := p.Pick(task, []core.Schedule{{Strategy: core.Strategy(9), Group: 1, Tile: 1}}); pick != core.DefaultSchedule {
+		t.Error("empty ranking should fall back to default")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := trainSmall(t)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := testTask(t, 5)
+	st := task.Graph.ComputeStats()
+	f := Features(st, task, core.DefaultSchedule)
+	if p.Model.Predict(f) != p2.Model.Predict(f) {
+		t.Fatal("loaded model predicts differently")
+	}
+}
+
+func TestLoadPredictorErrors(t *testing.T) {
+	if _, err := LoadPredictor(bytes.NewBufferString("not json")); err == nil {
+		t.Error("garbage should fail to load")
+	}
+	if _, err := LoadPredictor(bytes.NewBufferString(`{"base":1,"lr":0.1,"trees":[{"nodes":[]}]}`)); err == nil {
+		t.Error("empty tree should fail to load")
+	}
+	if _, err := LoadPredictor(bytes.NewBufferString(`{"base":1,"lr":0.1,"trees":[{"nodes":[{"f":0,"t":0,"l":5,"r":6,"v":0}]}]}`)); err == nil {
+		t.Error("out-of-range children should fail to load")
+	}
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	if _, _, err := Train(TrainConfig{}); err == nil {
+		t.Error("missing device should fail")
+	}
+	cfg := DefaultTrainConfig(gpu.V100())
+	cfg.NumGraphs = 0
+	if _, _, err := Train(cfg); err == nil {
+		t.Error("zero graphs should fail")
+	}
+}

@@ -1,0 +1,124 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// clusteredButScrambled builds a graph with strong community structure whose
+// vertex ids are randomly scrambled, so a locality reorder has something to
+// recover.
+func clusteredButScrambled(t *testing.T, n, clusterSize, edgesPer int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	scramble := rng.Perm(n)
+	b := graph.NewBuilder(n)
+	for c := 0; c < n/clusterSize; c++ {
+		base := c * clusterSize
+		for i := 0; i < clusterSize*edgesPer; i++ {
+			u := base + rng.Intn(clusterSize)
+			v := base + rng.Intn(clusterSize)
+			b.AddEdge(int32(scramble[u]), int32(scramble[v]))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func validPerm(t *testing.T, perm []int32, n int) {
+	t.Helper()
+	if len(perm) != n {
+		t.Fatalf("perm length %d != %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			t.Fatalf("not a permutation")
+		}
+		seen[p] = true
+	}
+}
+
+func TestBFSIsPermutation(t *testing.T) {
+	g := clusteredButScrambled(t, 1000, 50, 4)
+	perm := BFS(g)
+	validPerm(t, perm, 1000)
+}
+
+func TestBFSImprovesLocality(t *testing.T) {
+	g := clusteredButScrambled(t, 2000, 50, 4)
+	before := Locality(g)
+	g2, err := Apply(g, BFS(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Locality(g2)
+	if after >= before*0.5 {
+		t.Errorf("BFS reorder should halve the mean edge gap: before %.4f after %.4f", before, after)
+	}
+}
+
+func TestBFSDeterministic(t *testing.T) {
+	g := clusteredButScrambled(t, 500, 25, 3)
+	p1 := BFS(g)
+	p2 := BFS(g)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("BFS reorder must be deterministic")
+		}
+	}
+}
+
+func TestBFSCoversIsolatedVertices(t *testing.T) {
+	// Vertices 3 and 4 are isolated.
+	g, err := graph.FromCOO(5, []int32{0, 1}, []int32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validPerm(t, BFS(g), 5)
+}
+
+func TestDegreeSort(t *testing.T) {
+	// Star at vertex 7 of 10: vertex 7 should get new id 0.
+	b := graph.NewBuilder(10)
+	for v := int32(0); v < 10; v++ {
+		if v != 7 {
+			b.AddEdge(v, 7)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := DegreeSort(g)
+	validPerm(t, perm, 10)
+	if perm[7] != 0 {
+		t.Errorf("hub should be renumbered to 0, got %d", perm[7])
+	}
+}
+
+func TestLocalityEdgeCases(t *testing.T) {
+	g, err := graph.FromCOO(0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Locality(g) != 0 {
+		t.Error("empty graph locality should be 0")
+	}
+	ring := graph.NewBuilder(10)
+	for v := int32(0); v < 10; v++ {
+		ring.AddEdge(v, (v+1)%10)
+	}
+	rg, err := ring.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := Locality(rg); l <= 0 {
+		t.Errorf("ring locality = %v, want > 0", l)
+	}
+}

@@ -1,0 +1,133 @@
+// Package sample provides the mini-batch preprocessing substrate of the
+// paper's §6 "Batchsize" discussion: mini-batch GNN inference first samples
+// a neighbourhood subgraph around the batch's seed vertices, then executes
+// graph operators on that subgraph exactly as full-graph inference would —
+// which is why the paper's evaluation "falls back to full-graph inference".
+// This package implements the sampling step so the same uGrapher pipeline
+// serves both regimes.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Subgraph is an induced subgraph with the mapping back to parent ids.
+type Subgraph struct {
+	Graph *graph.Graph
+	// Vertices maps subgraph vertex id -> parent vertex id.
+	Vertices []int32
+	// EdgeIDs maps subgraph edge id -> parent edge id.
+	EdgeIDs []int32
+}
+
+// ParentVertex translates a subgraph vertex id to the parent graph.
+func (s *Subgraph) ParentVertex(v int32) int32 { return s.Vertices[v] }
+
+// Induced builds the subgraph of g induced by the given parent vertex ids
+// (duplicates are ignored). Edges are kept when both endpoints are in the
+// set; subgraph edge order follows parent edge id order, so gathering
+// parent-side edge features into subgraph order is a stable indexed copy.
+func Induced(g *graph.Graph, vertices []int32) (*Subgraph, error) {
+	n := g.NumVertices()
+	inSet := make([]int32, n)
+	for i := range inSet {
+		inSet[i] = -1
+	}
+	var kept []int32
+	for _, v := range vertices {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("sample: vertex %d out of range", v)
+		}
+		if inSet[v] < 0 {
+			inSet[v] = 0 // mark; ids assigned after sort
+			kept = append(kept, v)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+	for i, v := range kept {
+		inSet[v] = int32(i)
+	}
+
+	b := graph.NewBuilder(len(kept))
+	var edgeIDs []int32
+	for e := int32(0); e < int32(g.NumEdges()); e++ {
+		src, dst := g.EdgeEndpoints(e)
+		if inSet[src] >= 0 && inSet[dst] >= 0 {
+			b.AddEdge(inSet[src], inSet[dst])
+			edgeIDs = append(edgeIDs, e)
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Subgraph{Graph: sub, Vertices: kept, EdgeIDs: edgeIDs}, nil
+}
+
+// NeighborSample expands the seed vertices by hops rounds of incoming-
+// neighbour sampling (GraphSage-style): each round keeps at most fanout
+// randomly chosen in-neighbours per frontier vertex, then returns the
+// subgraph induced by everything visited. Deterministic for a fixed rng.
+func NeighborSample(g *graph.Graph, seeds []int32, hops, fanout int, rng *rand.Rand) (*Subgraph, error) {
+	if hops < 0 || fanout < 1 {
+		return nil, fmt.Errorf("sample: bad hops=%d fanout=%d", hops, fanout)
+	}
+	visited := map[int32]bool{}
+	var frontier []int32
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.NumVertices() {
+			return nil, fmt.Errorf("sample: seed %d out of range", s)
+		}
+		if !visited[s] {
+			visited[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	scratch := make([]int32, 0, 256)
+	for h := 0; h < hops; h++ {
+		var next []int32
+		for _, v := range frontier {
+			srcs, _ := g.InEdges(v)
+			scratch = scratch[:0]
+			scratch = append(scratch, srcs...)
+			// Partial Fisher-Yates up to fanout picks.
+			picks := fanout
+			if picks > len(scratch) {
+				picks = len(scratch)
+			}
+			for i := 0; i < picks; i++ {
+				j := i + rng.Intn(len(scratch)-i)
+				scratch[i], scratch[j] = scratch[j], scratch[i]
+				u := scratch[i]
+				if !visited[u] {
+					visited[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	all := make([]int32, 0, len(visited))
+	for v := range visited {
+		all = append(all, v)
+	}
+	return Induced(g, all)
+}
+
+// GatherRows copies the parent rows named by ids into a dense row-major
+// buffer of the same width — the feature-slicing step of mini-batch
+// pipelines. data is the parent feature matrix (rows x cols flattened).
+func GatherRows(data []float32, cols int, ids []int32) []float32 {
+	out := make([]float32, len(ids)*cols)
+	for i, id := range ids {
+		copy(out[i*cols:(i+1)*cols], data[int(id)*cols:int(id+1)*cols])
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func lineGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(int32(v-1), int32(v)) // v-1 -> v
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestInducedBasics(t *testing.T) {
+	g := lineGraph(t, 10)
+	sub, err := Induced(g, []int32{2, 3, 4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Graph.NumVertices() != 4 {
+		t.Fatalf("vertices = %d, want 4", sub.Graph.NumVertices())
+	}
+	// Kept edges: 2->3, 3->4 (7 is isolated in the set).
+	if sub.Graph.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", sub.Graph.NumEdges())
+	}
+	if err := sub.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Vertex mapping is sorted parent ids.
+	want := []int32{2, 3, 4, 7}
+	for i, v := range want {
+		if sub.ParentVertex(int32(i)) != v {
+			t.Errorf("ParentVertex(%d) = %d, want %d", i, sub.Vertices[i], v)
+		}
+	}
+	// Every kept edge maps to a parent edge with the same endpoints.
+	for e := int32(0); e < int32(sub.Graph.NumEdges()); e++ {
+		s, d := sub.Graph.EdgeEndpoints(e)
+		ps, pd := g.EdgeEndpoints(sub.EdgeIDs[e])
+		if sub.ParentVertex(s) != ps || sub.ParentVertex(d) != pd {
+			t.Errorf("edge %d endpoint mapping broken", e)
+		}
+	}
+}
+
+func TestInducedDuplicatesAndErrors(t *testing.T) {
+	g := lineGraph(t, 5)
+	sub, err := Induced(g, []int32{1, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Graph.NumVertices() != 2 {
+		t.Fatalf("duplicates should collapse: %d vertices", sub.Graph.NumVertices())
+	}
+	if _, err := Induced(g, []int32{5}); err == nil {
+		t.Error("out-of-range vertex should fail")
+	}
+	if _, err := Induced(g, []int32{-1}); err == nil {
+		t.Error("negative vertex should fail")
+	}
+}
+
+func TestInducedEmpty(t *testing.T) {
+	g := lineGraph(t, 5)
+	sub, err := Induced(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Graph.NumVertices() != 0 || sub.Graph.NumEdges() != 0 {
+		t.Error("empty selection should give empty subgraph")
+	}
+}
+
+func TestNeighborSampleLine(t *testing.T) {
+	g := lineGraph(t, 100)
+	rng := rand.New(rand.NewSource(1))
+	// Seeding at vertex 50 with 3 hops along a line reaches 47..50.
+	sub, err := NeighborSample(g, []int32{50}, 3, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Graph.NumVertices() != 4 {
+		t.Fatalf("line 3-hop sample has %d vertices, want 4", sub.Graph.NumVertices())
+	}
+	if sub.Graph.NumEdges() != 3 {
+		t.Fatalf("line 3-hop sample has %d edges, want 3", sub.Graph.NumEdges())
+	}
+}
+
+func TestNeighborSampleFanoutBounds(t *testing.T) {
+	// Star: center 0 has 50 in-neighbours; fanout 5 with 1 hop keeps <= 6
+	// vertices.
+	b := graph.NewBuilder(51)
+	for v := int32(1); v <= 50; v++ {
+		b.AddEdge(v, 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	sub, err := NeighborSample(g, []int32{0}, 1, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.Graph.NumVertices(); got != 6 {
+		t.Fatalf("fanout-5 star sample has %d vertices, want 6", got)
+	}
+}
+
+func TestNeighborSampleErrors(t *testing.T) {
+	g := lineGraph(t, 5)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := NeighborSample(g, []int32{9}, 1, 2, rng); err == nil {
+		t.Error("bad seed should fail")
+	}
+	if _, err := NeighborSample(g, []int32{0}, -1, 2, rng); err == nil {
+		t.Error("negative hops should fail")
+	}
+	if _, err := NeighborSample(g, []int32{0}, 1, 0, rng); err == nil {
+		t.Error("zero fanout should fail")
+	}
+}
+
+func TestNeighborSampleDeterministic(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(7))
+	rng2 := rand.New(rand.NewSource(7))
+	b := graph.NewBuilder(200)
+	mk := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		b.AddEdge(int32(mk.Intn(200)), int32(mk.Intn(200)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := NeighborSample(g, []int32{5, 9}, 2, 4, rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NeighborSample(g, []int32{5, 9}, 2, 4, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Graph.NumVertices() != s2.Graph.NumVertices() || s1.Graph.NumEdges() != s2.Graph.NumEdges() {
+		t.Fatal("sampling not deterministic for fixed rng")
+	}
+	for i := range s1.Vertices {
+		if s1.Vertices[i] != s2.Vertices[i] {
+			t.Fatal("vertex sets differ")
+		}
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	data := []float32{0, 1, 10, 11, 20, 21, 30, 31}
+	got := GatherRows(data, 2, []int32{3, 1})
+	want := []float32{30, 31, 10, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GatherRows = %v, want %v", got, want)
+		}
+	}
+	if len(GatherRows(data, 2, nil)) != 0 {
+		t.Error("empty ids should give empty slice")
+	}
+}

@@ -1,0 +1,96 @@
+package schedule
+
+import (
+	"repro/internal/core"
+	"repro/internal/gpu"
+)
+
+// Local search: the paper notes exhaustive grid search over the ~10^4-point
+// space "would require days"; its answer is the learned predictor. A
+// complementary cheap option is hill climbing over the knob lattice, which
+// reaches near-optimal schedules in a few dozen simulations — useful when
+// no trained model is at hand and full grid search is too slow.
+
+// LocalSearchResult reports the climb.
+type LocalSearchResult struct {
+	Best        Candidate
+	Evaluations int
+	Steps       int
+}
+
+// neighbors enumerates the one-knob moves from s: switch strategy (keeping
+// knobs), halve/double grouping, halve/double tiling.
+func neighbors(s core.Schedule) []core.Schedule {
+	var out []core.Schedule
+	for _, st := range core.Strategies {
+		if st != s.Strategy {
+			out = append(out, core.Schedule{Strategy: st, Group: s.Group, Tile: s.Tile})
+		}
+	}
+	if s.Group > 1 {
+		out = append(out, core.Schedule{Strategy: s.Strategy, Group: s.Group / 2, Tile: s.Tile})
+	}
+	if s.Group < 64 {
+		out = append(out, core.Schedule{Strategy: s.Strategy, Group: s.Group * 2, Tile: s.Tile})
+	}
+	if s.Tile > 1 {
+		out = append(out, core.Schedule{Strategy: s.Strategy, Group: s.Group, Tile: s.Tile / 2})
+	}
+	if s.Tile < 64 {
+		out = append(out, core.Schedule{Strategy: s.Strategy, Group: s.Group, Tile: s.Tile * 2})
+	}
+	return out
+}
+
+// LocalSearch hill-climbs from start until no neighbour improves, with an
+// evaluation budget (0 = unlimited). Deterministic: neighbours are visited
+// in a fixed order and ties keep the incumbent.
+func LocalSearch(t Task, start core.Schedule, budget int, opts ...gpu.Option) (LocalSearchResult, error) {
+	evalCount := 0
+	seen := map[core.Schedule]float64{}
+	eval := func(s core.Schedule) (float64, error) {
+		if c, ok := seen[s]; ok {
+			return c, nil
+		}
+		cand, err := Evaluate(t, s, opts...)
+		if err != nil {
+			return 0, err
+		}
+		evalCount++
+		seen[s] = cand.Metrics.Cycles
+		return cand.Metrics.Cycles, nil
+	}
+
+	cur := start
+	curCost, err := eval(cur)
+	if err != nil {
+		return LocalSearchResult{}, err
+	}
+	steps := 0
+	for {
+		improved := false
+		for _, nb := range neighbors(cur) {
+			if budget > 0 && evalCount >= budget {
+				break
+			}
+			cost, err := eval(nb)
+			if err != nil {
+				continue // invalid neighbour for this operator; skip
+			}
+			if cost < curCost*0.999 {
+				cur, curCost = nb, cost
+				improved = true
+				steps++
+				break // greedy first-improvement
+			}
+		}
+		if !improved || (budget > 0 && evalCount >= budget) {
+			break
+		}
+	}
+	final, err := Evaluate(t, cur, opts...)
+	if err != nil {
+		return LocalSearchResult{}, err
+	}
+	return LocalSearchResult{Best: final, Evaluations: evalCount, Steps: steps}, nil
+}

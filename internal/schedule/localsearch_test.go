@@ -1,0 +1,84 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+)
+
+func TestNeighborsValid(t *testing.T) {
+	s := core.Schedule{Strategy: core.WarpEdge, Group: 8, Tile: 4}
+	nbs := neighbors(s)
+	// 3 strategy switches + 2 group moves + 2 tile moves.
+	if len(nbs) != 7 {
+		t.Fatalf("got %d neighbours, want 7", len(nbs))
+	}
+	for _, nb := range nbs {
+		if err := nb.Validate(); err != nil {
+			t.Errorf("invalid neighbour %v: %v", nb, err)
+		}
+		if nb == s {
+			t.Errorf("neighbour equals start")
+		}
+	}
+	// Boundary knobs lose the shrinking moves.
+	edge := core.Schedule{Strategy: core.ThreadVertex, Group: 1, Tile: 64}
+	for _, nb := range neighbors(edge) {
+		if nb.Group < 1 || nb.Tile > 64 {
+			t.Errorf("out-of-range neighbour %v", nb)
+		}
+	}
+}
+
+func TestLocalSearchImproves(t *testing.T) {
+	task := smallTask(t, true)
+	start := core.Schedule{Strategy: core.ThreadVertex, Group: 64, Tile: 1} // deliberately poor
+	res, err := LocalSearch(task, start, 0, gpu.WithMaxSampledBlocks(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	startCand, err := Evaluate(task, start, gpu.WithMaxSampledBlocks(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Metrics.Cycles >= startCand.Metrics.Cycles {
+		t.Errorf("local search did not improve: %v -> %v",
+			startCand.Metrics.Cycles, res.Best.Metrics.Cycles)
+	}
+	if res.Evaluations == 0 || res.Steps == 0 {
+		t.Errorf("suspicious search stats: %+v", res)
+	}
+}
+
+func TestLocalSearchNearGridBest(t *testing.T) {
+	task := smallTask(t, false)
+	res, err := LocalSearch(task, core.DefaultSchedule, 0, gpu.WithMaxSampledBlocks(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, ok := Best(task, PrunedSpace(task), gpu.WithMaxSampledBlocks(32))
+	if !ok {
+		t.Fatal("grid failed")
+	}
+	ratio := res.Best.Metrics.Cycles / grid.Metrics.Cycles
+	if ratio > 1.5 {
+		t.Errorf("local search %.2fx worse than grid (%v vs %v)",
+			ratio, res.Best.Schedule, grid.Schedule)
+	}
+	full := len(PrunedSpace(task))
+	if res.Evaluations >= full {
+		t.Errorf("local search used %d evals, grid space is only %d", res.Evaluations, full)
+	}
+}
+
+func TestLocalSearchBudget(t *testing.T) {
+	task := smallTask(t, true)
+	res, err := LocalSearch(task, core.DefaultSchedule, 3, gpu.WithMaxSampledBlocks(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > 4 { // budget 3 + the mandatory start evaluation overlap
+		t.Errorf("budget exceeded: %d evaluations", res.Evaluations)
+	}
+}

@@ -1,0 +1,207 @@
+// Package schedule enumerates uGrapher's parallelization-strategy space and
+// provides the grid-search tuner the paper validates its predictor against
+// (§5.4, Fig. 12). The full space — 4 basic strategies x grouping x tiling
+// parameters — is explored by simulating each candidate kernel and ranking
+// by predicted cycles.
+package schedule
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/ops"
+)
+
+// GroupValues and TileValues are the power-of-two knob settings that appear
+// throughout the paper's Table 9 and Fig. 18.
+var (
+	GroupValues = []int{1, 2, 4, 8, 16, 32, 64}
+	TileValues  = []int{1, 2, 4, 8, 16, 32, 64}
+)
+
+// Space returns the full candidate schedule list: 4 strategies x 7 grouping
+// x 7 tiling values = 196 schedules.
+func Space() []core.Schedule {
+	out := make([]core.Schedule, 0, len(core.Strategies)*len(GroupValues)*len(TileValues))
+	for _, s := range core.Strategies {
+		for _, g := range GroupValues {
+			for _, t := range TileValues {
+				out = append(out, core.Schedule{Strategy: s, Group: g, Tile: t})
+			}
+		}
+	}
+	return out
+}
+
+// BasicSpace returns only the four basic strategies (Group=1, Tile=1), the
+// configuration Fig. 7 and Fig. 17 contrast against the tuned optimum.
+func BasicSpace() []core.Schedule {
+	out := make([]core.Schedule, len(core.Strategies))
+	for i, s := range core.Strategies {
+		out[i] = core.Schedule{Strategy: s, Group: 1, Tile: 1}
+	}
+	return out
+}
+
+// Task identifies one tuning problem: a graph operator on a dataset with a
+// feature width, on a device.
+type Task struct {
+	Graph *graph.Graph
+	Op    ops.OpInfo
+	// Feat is the output feature width; ACols/BCols the operand widths
+	// (1 = broadcast scalar, 0 = absent).
+	Feat, ACols, BCols int
+	Device             *gpu.Device
+}
+
+// Widths fills ACols/BCols from the operator's natural shape.
+func (t Task) Widths(widthOneB bool) Task {
+	t.Feat, t.ACols, t.BCols = core.OperandWidths(t.Op, t.Feat, widthOneB)
+	return t
+}
+
+// Candidate is one evaluated schedule.
+type Candidate struct {
+	Schedule core.Schedule
+	Metrics  gpu.Metrics
+}
+
+// Evaluate simulates a single schedule for the task.
+func Evaluate(t Task, s core.Schedule, opts ...gpu.Option) (Candidate, error) {
+	m, err := core.Estimate(t.Graph, t.Op, t.Feat, t.ACols, t.BCols, s, t.Device, opts...)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return Candidate{Schedule: s, Metrics: m}, nil
+}
+
+// GridSearch evaluates every schedule in space (default: Space()) and
+// returns the candidates sorted by ascending cycles. Schedules that fail to
+// compile for the operator are skipped.
+func GridSearch(t Task, space []core.Schedule, opts ...gpu.Option) []Candidate {
+	if space == nil {
+		space = Space()
+	}
+	out := make([]Candidate, 0, len(space))
+	for _, s := range space {
+		c, err := Evaluate(t, s, opts...)
+		if err != nil {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Metrics.Cycles < out[j].Metrics.Cycles })
+	return out
+}
+
+// Best returns the grid-search winner, or an error if nothing evaluated.
+func Best(t Task, space []core.Schedule, opts ...gpu.Option) (Candidate, bool) {
+	cands := GridSearch(t, space, opts...)
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	return cands[0], true
+}
+
+// PrunedSpace trims knob values that cannot help the task: grouping beyond
+// items/32 (launch would collapse below one wave) and tiling beyond the
+// feature chunk count (all extra units idle). This keeps grid search
+// practical on big graphs without excluding any winner the full space would
+// find — over-tiled/over-grouped schedules are strictly dominated.
+func PrunedSpace(t Task) []core.Schedule {
+	chunks := (t.Feat + 31) / 32
+	if chunks < 1 {
+		chunks = 1
+	}
+	maxTile := 1
+	for _, v := range TileValues {
+		if v <= chunks {
+			maxTile = v
+		}
+	}
+	var out []core.Schedule
+	for _, s := range core.Strategies {
+		items := t.Graph.NumVertices()
+		if !s.VertexParallel() {
+			items = t.Graph.NumEdges()
+		}
+		// Stop growing the group once the launch collapses below one block
+		// per SM; coarser groupings are strictly dominated.
+		for _, g := range GroupValues {
+			units := (items + g - 1) / g
+			if g > 1 && units < t.Device.NumSMs {
+				break
+			}
+			for _, ti := range TileValues {
+				if ti > maxTile {
+					break
+				}
+				out = append(out, core.Schedule{Strategy: s, Group: g, Tile: ti})
+			}
+		}
+	}
+	return out
+}
+
+// cacheKey memoises tuning results for repeated (graph, op, feat, device)
+// lookups within a process — the paper's point that tuning happens once
+// before inference.
+type cacheKey struct {
+	g      *graph.Graph
+	opName string
+	edgeOp ops.EdgeOp
+	gather ops.GatherOp
+	feat   int
+	aCols  int
+	bCols  int
+	dev    string
+}
+
+// Tuner performs cached grid search.
+type Tuner struct {
+	mu    sync.Mutex
+	cache map[cacheKey]Candidate
+	// Opts are forwarded to every simulation.
+	Opts []gpu.Option
+}
+
+// NewTuner returns an empty cached tuner.
+func NewTuner(opts ...gpu.Option) *Tuner {
+	return &Tuner{cache: make(map[cacheKey]Candidate), Opts: opts}
+}
+
+// Tune returns the best schedule for the task, using the pruned space, with
+// memoisation.
+func (tu *Tuner) Tune(t Task) (Candidate, bool) {
+	key := cacheKey{
+		g: t.Graph, opName: t.Op.Name, edgeOp: t.Op.EdgeOp, gather: t.Op.GatherOp,
+		feat: t.Feat, aCols: t.ACols, bCols: t.BCols, dev: t.Device.Name,
+	}
+	tu.mu.Lock()
+	if c, ok := tu.cache[key]; ok {
+		tu.mu.Unlock()
+		return c, true
+	}
+	tu.mu.Unlock()
+	best, ok := Best(t, PrunedSpace(t), tu.Opts...)
+	if !ok {
+		return Candidate{}, false
+	}
+	tu.mu.Lock()
+	tu.cache[key] = best
+	tu.mu.Unlock()
+	return best, true
+}
+
+// Speedup returns how much faster best is than the given baseline schedule.
+func Speedup(t Task, baseline core.Schedule, best Candidate, opts ...gpu.Option) float64 {
+	b, err := Evaluate(t, baseline, opts...)
+	if err != nil {
+		return math.NaN()
+	}
+	return b.Metrics.Cycles / best.Metrics.Cycles
+}

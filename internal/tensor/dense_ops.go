@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the dense neural-network operators GNN models need
+// around graph operators: linear transforms, activations, normalisation.
+// They execute functionally; their simulated GPU cost comes from
+// internal/gpu's dense cost model so end-to-end experiments (Fig. 13-15)
+// account for the GEMM share of each model.
+
+// MatMul returns a @ b for a: m×k, b: k×n. It panics on shape mismatch —
+// shapes are programmer-controlled, not data-dependent.
+func MatMul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// AddBias adds the length-Cols bias vector to every row of t in place.
+func AddBias(t *Dense, bias []float32) {
+	if len(bias) != t.Cols {
+		panic(fmt.Sprintf("tensor: bias length %d != cols %d", len(bias), t.Cols))
+	}
+	for r := 0; r < t.Rows; r++ {
+		row := t.Row(r)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// ReLU applies max(0, x) in place.
+func ReLU(t *Dense) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// LeakyReLU applies x>=0 ? x : alpha*x in place (GAT's attention activation).
+func LeakyReLU(t *Dense, alpha float32) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = alpha * v
+		}
+	}
+}
+
+// Exp applies e^x element-wise in place.
+func Exp(t *Dense) {
+	for i, v := range t.Data {
+		t.Data[i] = float32(math.Exp(float64(v)))
+	}
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Dense) *Dense {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: add shape mismatch")
+	}
+	out := NewDense(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Scale multiplies every element by s in place.
+func Scale(t *Dense, s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Concat returns the column-wise concatenation [a | b].
+func Concat(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic("tensor: concat row mismatch")
+	}
+	out := NewDense(a.Rows, a.Cols+b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		copy(out.Row(r)[:a.Cols], a.Row(r))
+		copy(out.Row(r)[a.Cols:], b.Row(r))
+	}
+	return out
+}
+
+// RowSum returns the per-row sum as an n×1 tensor.
+func RowSum(t *Dense) *Dense {
+	out := NewDense(t.Rows, 1)
+	for r := 0; r < t.Rows; r++ {
+		var s float32
+		for _, v := range t.Row(r) {
+			s += v
+		}
+		out.Data[r] = s
+	}
+	return out
+}
+
+// DivRows divides each row of t in place by the corresponding scalar in
+// denom (an n×1 tensor); rows whose denominator is 0 are left as zeros,
+// matching mean-aggregation over vertices with no incoming edges.
+func DivRows(t *Dense, denom *Dense) {
+	if denom.Rows != t.Rows || denom.Cols != 1 {
+		panic("tensor: DivRows denominator must be Rows x 1")
+	}
+	for r := 0; r < t.Rows; r++ {
+		d := denom.Data[r]
+		row := t.Row(r)
+		if d == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		inv := 1 / d
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// GEMMFlops returns the floating-point operation count of MatMul(a, b),
+// used by the dense cost model.
+func GEMMFlops(m, k, n int) int64 { return 2 * int64(m) * int64(k) * int64(n) }

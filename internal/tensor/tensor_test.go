@@ -1,0 +1,231 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Null: "Null", SrcV: "Src_V", DstV: "Dst_V", EdgeK: "Edge"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind string")
+	}
+	if !SrcV.IsVertex() || !DstV.IsVertex() || EdgeK.IsVertex() || Null.IsVertex() {
+		t.Error("IsVertex misclassifies")
+	}
+}
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(3, 4)
+	d.Set(1, 2, 5)
+	if d.At(1, 2) != 5 {
+		t.Fatal("Set/At mismatch")
+	}
+	if len(d.Row(1)) != 4 || d.Row(1)[2] != 5 {
+		t.Fatal("Row aliasing broken")
+	}
+	c := d.Clone()
+	c.Set(1, 2, 7)
+	if d.At(1, 2) != 5 {
+		t.Fatal("Clone not deep")
+	}
+	d.Fill(2)
+	if d.At(0, 0) != 2 {
+		t.Fatal("Fill failed")
+	}
+	d.Zero()
+	if d.At(2, 3) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestFromSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float32{1, 2, 3})
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromSlice(1, 3, []float32{1, 2, 3})
+	b := FromSlice(1, 3, []float32{1, 2, 3.00001})
+	if a.Equal(b) {
+		t.Fatal("Equal should be exact")
+	}
+	if !a.AllClose(b, 1e-5, 1e-5) {
+		t.Fatal("AllClose should tolerate tiny diff")
+	}
+	c := FromSlice(3, 1, []float32{1, 2, 3})
+	if a.Equal(c) || a.AllClose(c, 1, 1) {
+		t.Fatal("shape mismatch must not compare equal")
+	}
+	nan := float32(math.NaN())
+	d := FromSlice(1, 1, []float32{nan})
+	e := FromSlice(1, 1, []float32{nan})
+	if !d.Equal(e) || !d.AllClose(e, 0, 0) {
+		t.Fatal("NaN should compare equal to NaN in both comparisons")
+	}
+}
+
+func TestMaxDiff(t *testing.T) {
+	a := FromSlice(1, 2, []float32{0, 10})
+	b := FromSlice(1, 2, []float32{1, 7})
+	if got := a.MaxDiff(b); got != 3 {
+		t.Fatalf("MaxDiff = %v, want 3", got)
+	}
+	if a.MaxDiff(NewDense(2, 2)) != -1 {
+		t.Fatal("shape mismatch should return -1")
+	}
+}
+
+func TestTypedValidate(t *testing.T) {
+	v := NewDense(5, 8)
+	e := NewDense(12, 8)
+	if err := Src(v).Validate(5, 12, 8); err != nil {
+		t.Errorf("Src valid: %v", err)
+	}
+	if err := Edge(e).Validate(5, 12, 8); err != nil {
+		t.Errorf("Edge valid: %v", err)
+	}
+	if err := NullTensor.Validate(5, 12, 8); err != nil {
+		t.Errorf("Null valid: %v", err)
+	}
+	if err := Src(e).Validate(5, 12, 8); err == nil {
+		t.Error("wrong row count should fail")
+	}
+	if err := Src(v).Validate(5, 12, 4); err == nil {
+		t.Error("wrong col count should fail")
+	}
+	if err := (Typed{Kind: SrcV}).Validate(5, 12, 8); err == nil {
+		t.Error("missing data should fail")
+	}
+	if err := (Typed{Kind: Null, T: v}).Validate(5, 12, 8); err == nil {
+		t.Error("null with data should fail")
+	}
+}
+
+func naiveMatMul(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float32
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		m, k, n := 1+rng.Intn(20), 1+rng.Intn(20), 1+rng.Intn(20)
+		a, b := NewDense(m, k), NewDense(k, n)
+		a.FillRandom(rng, 1)
+		b.FillRandom(rng, 1)
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		if !got.AllClose(want, 1e-4, 1e-4) {
+			t.Fatalf("trial %d: matmul mismatch, maxdiff %v", trial, got.MaxDiff(want))
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(NewDense(2, 3), NewDense(4, 2))
+}
+
+func TestActivationsAndBias(t *testing.T) {
+	d := FromSlice(1, 4, []float32{-2, -0.5, 0, 3})
+	LeakyReLU(d, 0.1)
+	want := []float32{-0.2, -0.05, 0, 3}
+	for i, w := range want {
+		if math.Abs(float64(d.Data[i]-w)) > 1e-6 {
+			t.Fatalf("LeakyReLU[%d] = %v, want %v", i, d.Data[i], w)
+		}
+	}
+	ReLU(d)
+	if d.Data[0] != 0 || d.Data[3] != 3 {
+		t.Fatal("ReLU wrong")
+	}
+	AddBias(d, []float32{1, 1, 1, 1})
+	if d.Data[0] != 1 || d.Data[3] != 4 {
+		t.Fatal("AddBias wrong")
+	}
+	Scale(d, 2)
+	if d.Data[3] != 8 {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestExpAddConcatRowSumDivRows(t *testing.T) {
+	a := FromSlice(2, 2, []float32{0, 1, 2, 3})
+	b := FromSlice(2, 2, []float32{1, 1, 1, 1})
+	s := Add(a, b)
+	if s.At(1, 1) != 4 {
+		t.Fatal("Add wrong")
+	}
+	e := a.Clone()
+	Exp(e)
+	if math.Abs(float64(e.At(0, 1))-math.E) > 1e-5 {
+		t.Fatal("Exp wrong")
+	}
+	c := Concat(a, b)
+	if c.Cols != 4 || c.At(0, 2) != 1 || c.At(1, 1) != 3 {
+		t.Fatal("Concat wrong")
+	}
+	rs := RowSum(a)
+	if rs.Data[0] != 1 || rs.Data[1] != 5 {
+		t.Fatal("RowSum wrong")
+	}
+	d := a.Clone()
+	DivRows(d, FromSlice(2, 1, []float32{2, 0}))
+	if d.At(0, 1) != 0.5 {
+		t.Fatal("DivRows scaling wrong")
+	}
+	if d.At(1, 0) != 0 || d.At(1, 1) != 0 {
+		t.Fatal("DivRows zero-denominator row should zero out")
+	}
+}
+
+// Property: matmul distributes over addition: (a+b)@c == a@c + b@c.
+func TestQuickMatMulLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a, b, c := NewDense(m, k), NewDense(m, k), NewDense(k, n)
+		a.FillRandom(r, 1)
+		b.FillRandom(r, 1)
+		c.FillRandom(r, 1)
+		lhs := MatMul(Add(a, b), c)
+		rhs := Add(MatMul(a, c), MatMul(b, c))
+		return lhs.AllClose(rhs, 1e-4, 1e-3)
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGEMMFlops(t *testing.T) {
+	if GEMMFlops(10, 20, 30) != 12000 {
+		t.Fatal("GEMMFlops wrong")
+	}
+}
