@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check bench race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the concurrency-sensitive packages (the parallel host backend
+# and its consumers) under the race detector.
+race:
+	$(GO) test -race ./internal/core/... ./internal/models/...
+
+# check is the pre-commit gate: static analysis plus the race-enabled
+# tests of the backend-facing packages.
+check: vet race
+
+# bench regenerates the reference-vs-parallel backend comparison on the
+# skewed (AR) and regular (PR) datasets.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkBackendCompare -benchmem .

@@ -10,10 +10,12 @@ package main
 import (
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/datasets"
 	"repro/internal/gpu"
 	"repro/internal/graph"
 	"repro/internal/ops"
@@ -126,6 +128,71 @@ func BenchmarkGridSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if got := schedule.GridSearch(task, space, gpu.WithMaxSampledBlocks(48)); len(got) == 0 {
 			b.Fatal("empty search")
+		}
+	}
+}
+
+// --- backend comparison: reference interpreter vs parallel host backend ---
+
+// backendBenchGraphs lazily generates the two comparison datasets once: AR
+// (artist, 1.6M edges, heavily skewed degrees) and PR (PROTEINS_full, 162k
+// edges, regular degrees) from the paper's Table 3.
+var backendBenchGraphs = struct {
+	once sync.Once
+	ar   *graph.Graph
+	pr   *graph.Graph
+}{}
+
+func loadBackendBenchGraphs(b *testing.B) (skewed, regular *graph.Graph) {
+	b.Helper()
+	backendBenchGraphs.once.Do(func() {
+		backendBenchGraphs.ar, _ = datasets.MustLoad("AR")
+		backendBenchGraphs.pr, _ = datasets.MustLoad("PR")
+	})
+	return backendBenchGraphs.ar, backendBenchGraphs.pr
+}
+
+// BenchmarkBackendCompare pits the sequential reference interpreter
+// against the parallel host backend on a skewed (AR) and a regular (PR)
+// dataset, for one vertex-parallel and one edge-parallel strategy. This is
+// the ISSUE-1 acceptance benchmark; CHANGES.md records measured speedups.
+func BenchmarkBackendCompare(b *testing.B) {
+	ar, pr := loadBackendBenchGraphs(b)
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{{"AR-skewed", ar}, {"PR-regular", pr}}
+	backends := []struct {
+		name string
+		b    core.ExecBackend
+	}{
+		{"reference", core.ReferenceBackend()},
+		{"parallel", core.NewParallelBackend(0)},
+	}
+	const feat = 32
+	for _, gr := range graphs {
+		for _, strat := range []core.Strategy{core.ThreadVertex, core.ThreadEdge} {
+			x := tensor.NewDense(gr.g.NumVertices(), feat)
+			x.FillRandom(rand.New(rand.NewSource(7)), 1)
+			out := tensor.NewDense(gr.g.NumVertices(), feat)
+			o := core.Operands{A: tensor.Src(x), B: tensor.NullTensor, C: tensor.Dst(out)}
+			p := core.MustCompile(ops.AggrSum, core.Schedule{Strategy: strat, Group: 1, Tile: 1})
+			for _, bk := range backends {
+				bk := bk
+				b.Run(gr.name+"/"+strat.Code()+"/"+bk.name, func(b *testing.B) {
+					k, err := bk.b.Lower(p, gr.g, o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.SetBytes(int64(gr.g.NumEdges()) * feat * 4)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := k.Run(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 }

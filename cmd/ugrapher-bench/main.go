@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	datasets := flag.String("datasets", "", "comma-separated dataset codes to restrict to (e.g. CO,PR,AR)")
 	sample := flag.Int("sample", 0, "simulator sampled blocks per kernel (0 = default)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	backend := flag.String("backend", "", "host compute backend for functional passes: reference, parallel or sim (empty = parallel / $UGRAPHER_BACKEND)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ugrapher-bench [flags] <experiment|all|list>\n\nflags:\n")
 		flag.PrintDefaults()
@@ -38,7 +40,19 @@ func main() {
 	}
 	cmd := flag.Arg(0)
 
-	opts := bench.Options{Quick: *quick, SampleBlocks: *sample}
+	opts := bench.Options{Quick: *quick, SampleBlocks: *sample, Backend: *backend}
+	if _, err := opts.ComputeBackend(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if *backend != "" {
+		// Functional passes outside enginesFor (examples, helpers) follow
+		// the same selection.
+		if err := core.SetDefaultBackend(*backend); err != nil {
+			fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")
 	}
@@ -83,6 +97,11 @@ func runOne(e bench.Experiment, opts bench.Options, csvOut bool) error {
 	if err := render(os.Stdout); err != nil {
 		return err
 	}
-	fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	// Two explicitly separate numbers: table cells are *simulated GPU
+	// cycles* (the schedule-cost model); the line below is *measured host
+	// wall-clock* of producing the experiment on the selected backend.
+	b, _ := opts.ComputeBackend()
+	fmt.Printf("(%s: simulated cycles in table; host wall-clock %v, backend=%s)\n\n",
+		e.ID, time.Since(start).Round(time.Millisecond), b.Name())
 	return nil
 }

@@ -14,7 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ops"
 	"repro/internal/schedule"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -34,8 +37,15 @@ func main() {
 	tune := flag.Bool("tune", false, "grid-search the schedule space and report the ranking")
 	top := flag.Int("top", 5, "with -tune: how many candidates to print")
 	source := flag.Bool("source", false, "print the generated kernel source")
+	backend := flag.String("backend", "", "host compute backend: reference, parallel or sim (empty = parallel / $UGRAPHER_BACKEND)")
 	flag.Parse()
 
+	if *backend != "" {
+		if err := core.SetDefaultBackend(*backend); err != nil {
+			fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if err := run(*dataset, *graphFile, *opName, *feat, *gpuName, *schedText, *tune, *top, *source); err != nil {
 		fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
 		os.Exit(1)
@@ -97,6 +107,9 @@ func run(dataset, graphFile, opName string, feat int, gpuName, schedText string,
 			return err
 		}
 		report("run:", c)
+		if err := timeFunctional(g, entry.Info, feat, sched); err != nil {
+			return err
+		}
 		if source {
 			printSource(entry.Info, sched)
 		}
@@ -120,10 +133,68 @@ func run(dataset, graphFile, opName string, feat int, gpuName, schedText string,
 	worst := cands[len(cands)-1]
 	fmt.Printf("worst %-11s cycles=%.0f (%.1fx the best)\n",
 		worst.Schedule, worst.Metrics.Cycles, worst.Metrics.Cycles/cands[0].Metrics.Cycles)
+	if err := timeFunctional(g, entry.Info, feat, cands[0].Schedule); err != nil {
+		return err
+	}
 	if source {
 		printSource(entry.Info, cands[0].Schedule)
 	}
 	return nil
+}
+
+// timeFunctional executes the operator for real on the selected host
+// backend and reports measured wall-clock — explicitly distinct from the
+// simulated cycles above, which are the GPU performance model.
+func timeFunctional(g *graph.Graph, op ops.OpInfo, feat int, sched core.Schedule) error {
+	backend := core.DefaultBackend()
+	plan, err := core.Compile(op, sched)
+	if err != nil {
+		return err
+	}
+	o := randomOperands(g, op, feat)
+	kern, err := backend.Lower(plan, g, o)
+	if err != nil {
+		return err
+	}
+	if err := kern.Run(); err != nil { // warm-up: page in operands, prime pools
+		return err
+	}
+	const reps = 5
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := kern.Run(); err != nil {
+			return err
+		}
+	}
+	per := time.Since(start) / reps
+	c := kern.Counters()
+	fmt.Printf("functional: backend=%s workers=%d wall-clock=%v/run (host measurement; cycles above are simulated)\n",
+		backend.Name(), c.Workers, per.Round(time.Microsecond))
+	return nil
+}
+
+// randomOperands fills deterministic random operands for op at width feat.
+func randomOperands(g *graph.Graph, op ops.OpInfo, feat int) core.Operands {
+	rng := rand.New(rand.NewSource(42))
+	alloc := func(kind tensor.Kind) tensor.Typed {
+		if kind == tensor.Null {
+			return tensor.NullTensor
+		}
+		rows := g.NumVertices()
+		if kind == tensor.EdgeK {
+			rows = g.NumEdges()
+		}
+		d := tensor.NewDense(rows, feat)
+		d.FillRandom(rng, 1)
+		return tensor.Typed{Kind: kind, T: d}
+	}
+	o := core.Operands{A: alloc(op.AKind), B: alloc(op.BKind)}
+	outRows := g.NumVertices()
+	if op.CKind == tensor.EdgeK {
+		outRows = g.NumEdges()
+	}
+	o.C = tensor.Typed{Kind: op.CKind, T: tensor.NewDense(outRows, feat)}
+	return o
 }
 
 func printSource(op ops.OpInfo, sched core.Schedule) {

@@ -31,6 +31,10 @@ func NewDGL(dev *gpu.Device) models.Engine {
 		// DGL's update_all path goes through Python message-passing
 		// dispatch: ~45 us per graph operator at V100 clocks.
 		HostOverheadCycles: 62000,
+		// Baselines differ from uGrapher in schedule choice, never in
+		// functional semantics, so they compute on the shared default host
+		// backend (overridable per engine for A/B runs).
+		Compute: core.DefaultBackend(),
 	}
 }
 
@@ -47,6 +51,7 @@ func NewPyG(dev *gpu.Device) models.Engine {
 		// PyG's gather/scatter path allocates and dispatches per edge-op in
 		// Python: ~55 us per graph operator.
 		HostOverheadCycles: 76000,
+		Compute:            core.DefaultBackend(),
 	}
 }
 
@@ -64,6 +69,7 @@ func NewGNNAdvisor(dev *gpu.Device) models.Engine {
 		Fuses:        true,
 		// GNNAdvisor's thin C++ runtime: ~10 us per operator.
 		HostOverheadCycles: 14000,
+		Compute:            core.DefaultBackend(),
 	}
 }
 

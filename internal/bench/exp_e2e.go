@@ -78,7 +78,7 @@ func runE2E(o Options) ([]e2eCell, []string, error) {
 	var cells []e2eCell
 	for _, devName := range e2eDevices(o) {
 		dev := device(devName)
-		engines := enginesFor(dev)
+		engines := enginesFor(dev, o)
 		for _, code := range codes {
 			h := graphs[code]
 			for _, mname := range e2eModelNames(o) {
@@ -316,7 +316,7 @@ func runFig19(o Options) (*Table, error) {
 		vals := map[string]float64{}
 		best := 0.0
 		for _, layout := range layouts {
-			for _, eng := range []models.Engine{enginesFor(dev)[0], models.NewTunedEngine(dev)} {
+			for _, eng := range []models.Engine{enginesFor(dev, o)[0], models.NewTunedEngine(dev)} {
 				rep, err := m.InferenceCost(layout.g, h.spec.Feat, h.spec.Class, eng)
 				if err != nil {
 					return nil, err

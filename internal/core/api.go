@@ -26,14 +26,26 @@ type Result struct {
 }
 
 // Run executes the graph operator described by op on g with the given
-// operands under schedule sched, simulating on dev. The output is written
-// into o.C.T; metrics are returned.
+// operands under schedule sched, computing on the default host backend and
+// simulating on dev. The output is written into o.C.T; metrics are
+// returned.
 func Run(g *graph.Graph, op ops.OpInfo, o Operands, sched Schedule, dev *gpu.Device) (Result, error) {
+	return RunWith(DefaultBackend(), g, op, o, sched, dev)
+}
+
+// RunWith is Run with an explicit compute backend: the plan is lowered
+// once (validating operands once), executed on b, and simulated on dev for
+// the schedule-cost metrics.
+func RunWith(b ExecBackend, g *graph.Graph, op ops.OpInfo, o Operands, sched Schedule, dev *gpu.Device) (Result, error) {
 	p, err := Compile(op, sched)
 	if err != nil {
 		return Result{}, err
 	}
-	if err := p.Execute(g, o); err != nil {
+	ck, err := b.Lower(p, g, o)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := ck.Run(); err != nil {
 		return Result{}, err
 	}
 	k, err := p.KernelFor(g, o, dev)

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// This file defines the execution-backend abstraction: the split between
+// *lowering* a compiled Plan onto an execution substrate and *running* the
+// lowered kernel. The Plan layer (core.go) is the paper's code generator —
+// operator semantics plus schedule analyses — while an ExecBackend is one
+// way of actually carrying the computation out: the sequential reference
+// interpreter, the parallel host backend, or the GPU cycle simulator.
+// Decoupling the two mirrors the paper's own thesis (computation vs
+// schedule, §3-§5) one level down: one abstraction, many substrates.
+
+// CompiledKernel is a Plan lowered for one backend, graph and operand
+// binding. Lowering validates the operands once; Run may then be invoked
+// repeatedly (e.g. per training epoch) without re-validation. Run writes
+// the output into the C operand bound at lowering time. A CompiledKernel
+// is not safe for concurrent Run calls.
+type CompiledKernel interface {
+	// Plan returns the plan this kernel was lowered from.
+	Plan() *Plan
+	// Run executes the kernel once, writing into the bound output tensor.
+	Run() error
+	// Counters reports cumulative execution statistics across Run calls.
+	Counters() Counters
+}
+
+// Counters are the execution statistics a backend accumulates per kernel.
+type Counters struct {
+	// Runs is how many times Run completed.
+	Runs int64
+	// Edges is the total number of edges processed across runs.
+	Edges int64
+	// Shards is the total number of work shards executed (1 per run for
+	// sequential backends, one per worker chunk for the parallel backend).
+	Shards int64
+	// Workers is the size of the worker pool (1 for sequential backends).
+	Workers int
+	// SimCycles is the simulated cycle count of the last run, for backends
+	// that model cost (zero for pure host backends).
+	SimCycles float64
+}
+
+// ExecBackend lowers plans into runnable kernels. Implementations:
+// the sequential reference interpreter ("reference"), the multi-core host
+// executor ("parallel"), and the GPU cycle simulator ("sim").
+type ExecBackend interface {
+	// Name identifies the backend ("reference", "parallel", "sim").
+	Name() string
+	// Lower specializes p for graph g and operand binding o, validating the
+	// operands against the plan exactly once.
+	Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, error)
+}
+
+// BackendNames lists the selectable backend names in presentation order.
+var BackendNames = []string{"parallel", "reference", "sim"}
+
+// Backend resolves a backend by name. The empty string resolves to the
+// default backend (see DefaultBackend).
+func Backend(name string) (ExecBackend, error) {
+	switch name {
+	case "":
+		return DefaultBackend(), nil
+	case "reference":
+		return ReferenceBackend(), nil
+	case "parallel":
+		return NewParallelBackend(0), nil
+	case "sim":
+		return NewSimBackend(nil), nil
+	default:
+		return nil, fmt.Errorf("core: unknown backend %q (want reference, parallel or sim)", name)
+	}
+}
+
+var (
+	defaultBackendMu sync.Mutex
+	defaultBackendV  ExecBackend
+)
+
+// DefaultBackend returns the process-wide default compute backend: the
+// parallel host backend, unless the UGRAPHER_BACKEND environment variable
+// names another one or SetDefaultBackend overrode it.
+func DefaultBackend() ExecBackend {
+	defaultBackendMu.Lock()
+	defer defaultBackendMu.Unlock()
+	if defaultBackendV == nil {
+		b, err := backendForDefault(os.Getenv("UGRAPHER_BACKEND"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ugrapher: UGRAPHER_BACKEND: %v (using parallel)\n", err)
+			b = NewParallelBackend(0)
+		}
+		defaultBackendV = b
+	}
+	return defaultBackendV
+}
+
+// backendForDefault is Backend without the empty-name recursion into
+// DefaultBackend.
+func backendForDefault(name string) (ExecBackend, error) {
+	if name == "" {
+		return NewParallelBackend(0), nil
+	}
+	return Backend(name)
+}
+
+// SetDefaultBackend overrides the process-wide default compute backend by
+// name (CLI -backend flags funnel through this).
+func SetDefaultBackend(name string) error {
+	b, err := backendForDefault(name)
+	if err != nil {
+		return err
+	}
+	defaultBackendMu.Lock()
+	defaultBackendV = b
+	defaultBackendMu.Unlock()
+	return nil
+}
+
+// ExecuteOn is the convenience path compile-once callers use: lower p onto
+// backend b for (g, o) and run the kernel once.
+func (p *Plan) ExecuteOn(b ExecBackend, g *graph.Graph, o Operands) error {
+	k, err := b.Lower(p, g, o)
+	if err != nil {
+		return err
+	}
+	return k.Run()
+}

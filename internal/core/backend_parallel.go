@@ -1,0 +1,372 @@
+package core
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// The parallel host backend: a multi-core executor that actually runs the
+// four schedule strategies on the machine uGrapher itself runs on, instead
+// of interpreting them sequentially. Work items (vertices for the
+// vertex-parallel strategies, edges for the edge-parallel ones) are dealt
+// to a runtime.NumCPU()-sized worker pool; edge-parallel reductions avoid
+// atomics by reducing into per-shard partial buffers that a parallel merge
+// folds into the output. The inner loops come from kernels_host.go: one
+// specialized fused loop per (edge_op x gather_op x operand-kind), so no
+// per-element closure calls survive lowering.
+
+// ParallelBackend executes plans on a host worker pool. The zero worker
+// count resolves to UGRAPHER_WORKERS or runtime.NumCPU().
+type ParallelBackend struct {
+	workers int
+	// bufPool recycles the per-shard partial output buffers of
+	// edge-parallel reductions across Run calls and kernels.
+	bufPool sync.Pool
+}
+
+// NewParallelBackend builds a backend with the given worker-pool size
+// (0 = UGRAPHER_WORKERS env var, else runtime.NumCPU()).
+func NewParallelBackend(workers int) *ParallelBackend {
+	if workers <= 0 {
+		if s := os.Getenv("UGRAPHER_WORKERS"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				workers = n
+			}
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &ParallelBackend{workers: workers}
+}
+
+// Name implements ExecBackend.
+func (b *ParallelBackend) Name() string { return "parallel" }
+
+// Workers reports the worker-pool size.
+func (b *ParallelBackend) Workers() int { return b.workers }
+
+// getBuf returns a float32 buffer of at least n elements from the pool.
+func (b *ParallelBackend) getBuf(n int) []float32 {
+	if v := b.bufPool.Get(); v != nil {
+		buf := *(v.(*[]float32))
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float32, n)
+}
+
+func (b *ParallelBackend) putBuf(buf []float32) {
+	b.bufPool.Put(&buf)
+}
+
+// Lower implements ExecBackend: validate once, resolve operand row
+// selectors, and pick the specialized inner loop.
+func (b *ParallelBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, error) {
+	if err := p.validateOperands(g.NumVertices(), g.NumEdges(), o); err != nil {
+		return nil, err
+	}
+	return &parallelKernel{
+		b: b, p: p, g: g, o: o,
+		feat: o.C.T.Cols,
+		selA: lowerRowSel(o.A),
+		selB: lowerRowSel(o.B),
+		row:  lowerRowKernel(p.Op.EdgeOp, p.Op.GatherOp),
+	}, nil
+}
+
+type parallelKernel struct {
+	b    *ParallelBackend
+	p    *Plan
+	g    *graph.Graph
+	o    Operands
+	feat int
+	selA rowSel
+	selB rowSel
+	row  fusedRow
+
+	runs   int64
+	shards int64
+}
+
+// Plan implements CompiledKernel.
+func (k *parallelKernel) Plan() *Plan { return k.p }
+
+// Counters implements CompiledKernel.
+func (k *parallelKernel) Counters() Counters {
+	return Counters{
+		Runs:    k.runs,
+		Edges:   k.runs * int64(k.g.NumEdges()),
+		Shards:  k.shards,
+		Workers: k.b.workers,
+	}
+}
+
+// smallWork is the (edges x features) volume below which goroutine fan-out
+// costs more than it buys; such kernels run on the calling goroutine.
+const smallWork = 1 << 15
+
+// Run implements CompiledKernel.
+func (k *parallelKernel) Run() error {
+	workers := k.b.workers
+	if int64(k.g.NumEdges())*int64(k.feat) < smallWork {
+		workers = 1
+	}
+	switch {
+	case k.p.Op.CKind == tensor.EdgeK:
+		k.runMessageCreation(workers)
+	case k.p.Schedule.Strategy.VertexParallel():
+		k.runVertexParallel(workers)
+	default:
+		k.runEdgeParallel(workers)
+	}
+	k.runs++
+	return nil
+}
+
+// chunkSize picks a dynamic-scheduling chunk: small enough to balance
+// skewed degree distributions across workers, large enough to amortize the
+// atomic fetch.
+func chunkSize(items, workers int) int {
+	c := items / (workers * 32)
+	if c < 64 {
+		c = 64
+	}
+	if c > 4096 {
+		c = 4096
+	}
+	return c
+}
+
+// forChunks runs body over [0, items) in dynamically-claimed chunks on
+// `workers` goroutines and returns the number of chunks processed.
+func forChunks(items, workers int, body func(lo, hi int32)) int64 {
+	if items == 0 {
+		return 0
+	}
+	if workers <= 1 {
+		body(0, int32(items))
+		return 1
+	}
+	chunk := chunkSize(items, workers)
+	var cursor atomic.Int64
+	var shards atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := cursor.Add(int64(chunk)) - int64(chunk)
+				if lo >= int64(items) {
+					return
+				}
+				hi := lo + int64(chunk)
+				if hi > int64(items) {
+					hi = int64(items)
+				}
+				body(int32(lo), int32(hi))
+				shards.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return shards.Load()
+}
+
+// runMessageCreation writes each edge's output row exactly once, so edges
+// shard freely regardless of the strategy's traversal order.
+func (k *parallelKernel) runMessageCreation(workers int) {
+	out := k.o.C.T
+	edgeSrc, edgeDst := k.g.EdgeSrcs(), k.g.EdgeDsts()
+	k.shards += forChunks(k.g.NumEdges(), workers, func(lo, hi int32) {
+		for e := lo; e < hi; e++ {
+			u, v := edgeSrc[e], edgeDst[e]
+			k.row(out.Row(int(e)), k.selA(e, u, v), k.selB(e, u, v))
+		}
+	})
+}
+
+// runVertexParallel mirrors the thread-vertex / warp-vertex kernels: one
+// owner per output row, register-style accumulation, no synchronization on
+// the output.
+func (k *parallelKernel) runVertexParallel(workers int) {
+	out := k.o.C.T
+	gop := k.p.Op.GatherOp
+	identity := gop.Identity()
+	mean := gop == ops.GatherMean
+	k.shards += forChunks(k.g.NumVertices(), workers, func(lo, hi int32) {
+		for v := lo; v < hi; v++ {
+			row := out.Row(int(v))
+			srcs, eids := k.g.InEdges(v)
+			if len(eids) == 0 {
+				for j := range row {
+					row[j] = 0 // zero-degree convention (DGL)
+				}
+				continue
+			}
+			for j := range row {
+				row[j] = identity
+			}
+			for i, e := range eids {
+				u := srcs[i]
+				k.row(row, k.selA(e, u, v), k.selB(e, u, v))
+			}
+			if mean {
+				inv := 1 / float32(len(eids))
+				for j := range row {
+					row[j] *= inv
+				}
+			}
+		}
+	})
+}
+
+// runEdgeParallel mirrors the thread-edge / warp-edge kernels. Where the
+// GPU kernels use atomics on the shared destination rows, the host backend
+// gives each worker shard a private partial output buffer and folds the
+// shards into the output with a parallel merge — same associative
+// reduction, no contention.
+func (k *parallelKernel) runEdgeParallel(workers int) {
+	out := k.o.C.T
+	g := k.g
+	gop := k.p.Op.GatherOp
+	identity := gop.Identity()
+	mean := gop == ops.GatherMean
+	numV, numE := g.NumVertices(), g.NumEdges()
+	edgeSrc, edgeDst := g.EdgeSrcs(), g.EdgeDsts()
+	feat := k.feat
+
+	if workers <= 1 {
+		// Sequential shape: reduce straight into the output.
+		for i := range out.Data {
+			out.Data[i] = identity
+		}
+		for e := int32(0); e < int32(numE); e++ {
+			u, v := edgeSrc[e], edgeDst[e]
+			k.row(out.Row(int(v)), k.selA(e, u, v), k.selB(e, u, v))
+		}
+		k.shards++
+		k.fixupVertexRows(1, mean)
+		return
+	}
+
+	// Phase 1: each worker reduces a contiguous edge shard into its own
+	// partial buffer (identity-filled, recycled via the backend pool).
+	partials := make([][]float32, workers)
+	var wg sync.WaitGroup
+	per := (numE + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > numE {
+			hi = numE
+		}
+		if lo >= hi {
+			partials[w] = nil
+			continue
+		}
+		buf := k.b.getBuf(numV * feat)
+		partials[w] = buf
+		wg.Add(1)
+		go func(lo, hi int32, buf []float32) {
+			defer wg.Done()
+			for i := range buf {
+				buf[i] = identity
+			}
+			for e := lo; e < hi; e++ {
+				u, v := edgeSrc[e], edgeDst[e]
+				k.row(buf[int(v)*feat:int(v)*feat+feat], k.selA(e, u, v), k.selB(e, u, v))
+			}
+		}(int32(lo), int32(hi), buf)
+		k.shards++
+	}
+	wg.Wait()
+
+	// Phase 2: parallel merge over vertex ranges — each output row is
+	// folded from the shard partials in shard order (deterministic for a
+	// fixed worker count), then mean/zero-degree fixups apply.
+	k.shards += forChunks(numV, workers, func(lo, hi int32) {
+		for v := lo; v < hi; v++ {
+			row := out.Row(int(v))
+			deg := g.InDegree(v)
+			if deg == 0 {
+				for j := range row {
+					row[j] = 0
+				}
+				continue
+			}
+			for j := range row {
+				row[j] = identity
+			}
+			for _, buf := range partials {
+				if buf == nil {
+					continue
+				}
+				mergeRow(gop, row, buf[int(v)*feat:int(v)*feat+feat])
+			}
+			if mean {
+				inv := 1 / float32(deg)
+				for j := range row {
+					row[j] *= inv
+				}
+			}
+		}
+	})
+	for _, buf := range partials {
+		if buf != nil {
+			k.b.putBuf(buf)
+		}
+	}
+}
+
+// fixupVertexRows applies the zero-degree and mean post-passes to the
+// output, in parallel over vertex ranges.
+func (k *parallelKernel) fixupVertexRows(workers int, mean bool) {
+	out := k.o.C.T
+	g := k.g
+	k.shards += forChunks(g.NumVertices(), workers, func(lo, hi int32) {
+		for v := lo; v < hi; v++ {
+			row := out.Row(int(v))
+			deg := g.InDegree(v)
+			if deg == 0 {
+				for j := range row {
+					row[j] = 0
+				}
+				continue
+			}
+			if mean {
+				inv := 1 / float32(deg)
+				for j := range row {
+					row[j] *= inv
+				}
+			}
+		}
+	})
+}
+
+// mergeRow folds one shard's partial row into the output row with the
+// gather op's combiner.
+func mergeRow(gop ops.GatherOp, dst, src []float32) {
+	switch gop {
+	case ops.GatherSum, ops.GatherMean:
+		src = src[:len(dst)]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	case ops.GatherMax:
+		maxCopy(dst, src)
+	case ops.GatherMin:
+		minCopy(dst, src)
+	default:
+		panic("core: merge of non-reducing gather")
+	}
+}

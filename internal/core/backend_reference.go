@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// The reference backend: the canonical sequential interpreter of exec.go,
+// lowered behind the ExecBackend interface. It is the semantic oracle every
+// other backend is tested against; nothing about it is tuned for speed.
+
+type refBackend struct{}
+
+var refBackendInstance = refBackend{}
+
+// ReferenceBackend returns the sequential reference interpreter.
+func ReferenceBackend() ExecBackend { return refBackendInstance }
+
+// Name implements ExecBackend.
+func (refBackend) Name() string { return "reference" }
+
+// Lower implements ExecBackend: validation happens here, once, so repeated
+// Run calls skip it.
+func (refBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, error) {
+	if err := p.validateOperands(g.NumVertices(), g.NumEdges(), o); err != nil {
+		return nil, err
+	}
+	return &refKernel{p: p, g: g, o: o, fa: makeFetcher(o.A), fb: makeFetcher(o.B)}, nil
+}
+
+type refKernel struct {
+	p      *Plan
+	g      *graph.Graph
+	o      Operands
+	fa, fb fetcher
+	runs   int64
+}
+
+// Plan implements CompiledKernel.
+func (k *refKernel) Plan() *Plan { return k.p }
+
+// Run implements CompiledKernel with the closure-per-element interpreter.
+func (k *refKernel) Run() error {
+	p, g, o := k.p, k.g, k.o
+	f := o.C.T.Cols
+	switch {
+	case p.Op.CKind == tensor.EdgeK:
+		p.executeMessageCreation(g, o, k.fa, k.fb, f)
+	case p.Schedule.Strategy.VertexParallel():
+		p.executeVertexCentric(g, o, k.fa, k.fb, f)
+	default:
+		p.executeEdgeCentric(g, o, k.fa, k.fb, f)
+	}
+	k.runs++
+	return nil
+}
+
+// Counters implements CompiledKernel.
+func (k *refKernel) Counters() Counters {
+	return Counters{
+		Runs:    k.runs,
+		Edges:   k.runs * int64(k.g.NumEdges()),
+		Shards:  k.runs,
+		Workers: 1,
+	}
+}

@@ -43,25 +43,12 @@ func makeFetcher(t tensor.Typed) fetcher {
 	}
 }
 
-// Execute runs the plan functionally on g, writing the output into o.C.T.
+// Execute runs the plan functionally on g with the sequential reference
+// interpreter, writing the output into o.C.T. Callers that want the
+// multi-core host executor (or the simulator) lower through an ExecBackend
+// instead; Execute stays the semantic oracle.
 func (p *Plan) Execute(g *graph.Graph, o Operands) error {
-	if err := p.validateOperands(g.NumVertices(), g.NumEdges(), o); err != nil {
-		return err
-	}
-	fa := makeFetcher(o.A)
-	fb := makeFetcher(o.B)
-	f := o.C.T.Cols
-
-	if p.Op.CKind == tensor.EdgeK {
-		p.executeMessageCreation(g, o, fa, fb, f)
-		return nil
-	}
-	if p.Schedule.Strategy.VertexParallel() {
-		p.executeVertexCentric(g, o, fa, fb, f)
-	} else {
-		p.executeEdgeCentric(g, o, fa, fb, f)
-	}
-	return nil
+	return p.ExecuteOn(ReferenceBackend(), g, o)
 }
 
 // executeMessageCreation computes per-edge outputs. Traversal order follows

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Specialized host inner loops for the parallel backend. The reference
+// interpreter pays a fetcher-closure call per (edge, feature) element; here
+// lowering picks one fused row kernel per (edge_op x gather_op x
+// operand-kind) combination, so the inner loop is a straight slice walk the
+// compiler can bounds-check-eliminate. Broadcast (width-1) operands branch
+// once per edge row, not per element.
+
+// rowSel resolves one operand's feature row for an edge (e, u->v). A nil
+// return marks an absent operand; width-1 operands yield a 1-element slice.
+type rowSel func(e, u, v int32) []float32
+
+// lowerRowSel builds the row selector for one typed operand.
+func lowerRowSel(t tensor.Typed) rowSel {
+	switch t.Kind {
+	case tensor.Null:
+		return func(e, u, v int32) []float32 { return nil }
+	case tensor.SrcV:
+		d := t.T
+		c := d.Cols
+		return func(e, u, v int32) []float32 { i := int(u) * c; return d.Data[i : i+c] }
+	case tensor.DstV:
+		d := t.T
+		c := d.Cols
+		return func(e, u, v int32) []float32 { i := int(v) * c; return d.Data[i : i+c] }
+	case tensor.EdgeK:
+		d := t.T
+		c := d.Cols
+		return func(e, u, v int32) []float32 { i := int(e) * c; return d.Data[i : i+c] }
+	default:
+		panic("core: bad operand kind")
+	}
+}
+
+// fusedRow folds one edge's contribution into an accumulator row:
+// acc = gather(acc, edge_op(a, b)), elementwise over the feature dimension.
+// For message creation the "gather" is a plain store. a/b may be nil
+// (absent operand) or length 1 (broadcast scalar).
+type fusedRow func(acc, a, b []float32)
+
+// lowerRowKernel selects the fused specialization for (edge_op, gather_op).
+// GatherMean lowers to the sum kernel; the mean division is a post-pass.
+func lowerRowKernel(eop ops.EdgeOp, gop ops.GatherOp) fusedRow {
+	switch gop {
+	case ops.GatherSum, ops.GatherMean:
+		switch eop {
+		case ops.CopyLHS:
+			return sumCopyA
+		case ops.CopyRHS, ops.EdgeNull:
+			return sumCopyB
+		case ops.EdgeAdd:
+			return sumAdd
+		case ops.EdgeSub:
+			return sumSub
+		case ops.EdgeMul:
+			return sumMul
+		case ops.EdgeDiv:
+			return sumDiv
+		}
+	case ops.GatherMax:
+		switch eop {
+		case ops.CopyLHS:
+			return maxCopyA
+		case ops.CopyRHS, ops.EdgeNull:
+			return maxCopyB
+		case ops.EdgeAdd:
+			return maxBin(func(x, y float32) float32 { return x + y })
+		case ops.EdgeSub:
+			return maxBin(func(x, y float32) float32 { return x - y })
+		case ops.EdgeMul:
+			return maxBin(func(x, y float32) float32 { return x * y })
+		case ops.EdgeDiv:
+			return maxBin(func(x, y float32) float32 { return x / y })
+		}
+	case ops.GatherMin:
+		switch eop {
+		case ops.CopyLHS:
+			return minCopyA
+		case ops.CopyRHS, ops.EdgeNull:
+			return minCopyB
+		case ops.EdgeAdd:
+			return minBin(func(x, y float32) float32 { return x + y })
+		case ops.EdgeSub:
+			return minBin(func(x, y float32) float32 { return x - y })
+		case ops.EdgeMul:
+			return minBin(func(x, y float32) float32 { return x * y })
+		case ops.EdgeDiv:
+			return minBin(func(x, y float32) float32 { return x / y })
+		}
+	default: // non-reducing gather: store the edge value (message creation)
+		switch eop {
+		case ops.CopyLHS:
+			return storeCopyA
+		case ops.CopyRHS, ops.EdgeNull:
+			return storeCopyB
+		case ops.EdgeAdd:
+			return storeAdd
+		case ops.EdgeSub:
+			return storeSub
+		case ops.EdgeMul:
+			return storeMul
+		case ops.EdgeDiv:
+			return storeDiv
+		}
+	}
+	panic("core: no host kernel for op combination")
+}
+
+// --- store class (message creation: acc = edge value) ---
+
+func storeCopyA(acc, a, b []float32) {
+	if len(a) == 1 {
+		v := a[0]
+		for j := range acc {
+			acc[j] = v
+		}
+		return
+	}
+	copy(acc, a)
+}
+
+func storeCopyB(acc, a, b []float32) {
+	if len(b) == 1 {
+		v := b[0]
+		for j := range acc {
+			acc[j] = v
+		}
+		return
+	}
+	copy(acc, b)
+}
+
+func storeAdd(acc, a, b []float32) { storeBin(acc, a, b, func(x, y float32) float32 { return x + y }) }
+func storeSub(acc, a, b []float32) { storeBin(acc, a, b, func(x, y float32) float32 { return x - y }) }
+
+func storeMul(acc, a, b []float32) {
+	switch {
+	case len(a) == len(acc) && len(b) == len(acc):
+		a, b = a[:len(acc)], b[:len(acc)]
+		for j := range acc {
+			acc[j] = a[j] * b[j]
+		}
+	case len(b) == 1 && len(a) == len(acc):
+		w := b[0]
+		a = a[:len(acc)]
+		for j := range acc {
+			acc[j] = a[j] * w
+		}
+	default:
+		storeBin(acc, a, b, func(x, y float32) float32 { return x * y })
+	}
+}
+
+func storeDiv(acc, a, b []float32) {
+	switch {
+	case len(a) == len(acc) && len(b) == len(acc):
+		a, b = a[:len(acc)], b[:len(acc)]
+		for j := range acc {
+			acc[j] = a[j] / b[j]
+		}
+	case len(b) == 1 && len(a) == len(acc):
+		inv := b[0]
+		a = a[:len(acc)]
+		for j := range acc {
+			acc[j] = a[j] / inv
+		}
+	default:
+		storeBin(acc, a, b, func(x, y float32) float32 { return x / y })
+	}
+}
+
+// storeBin is the broadcast-general binary store.
+func storeBin(acc, a, b []float32, f func(x, y float32) float32) {
+	av, bv := float32(0), float32(0)
+	aScalar, bScalar := len(a) == 1, len(b) == 1
+	if aScalar {
+		av = a[0]
+	}
+	if bScalar {
+		bv = b[0]
+	}
+	for j := range acc {
+		x, y := av, bv
+		if !aScalar {
+			x = a[j]
+		}
+		if !bScalar {
+			y = b[j]
+		}
+		acc[j] = f(x, y)
+	}
+}
+
+// --- sum class (also mean; division is a post-pass) ---
+
+func sumCopyA(acc, a, b []float32) {
+	if len(a) == 1 {
+		v := a[0]
+		for j := range acc {
+			acc[j] += v
+		}
+		return
+	}
+	a = a[:len(acc)]
+	for j := range acc {
+		acc[j] += a[j]
+	}
+}
+
+func sumCopyB(acc, a, b []float32) {
+	if len(b) == 1 {
+		v := b[0]
+		for j := range acc {
+			acc[j] += v
+		}
+		return
+	}
+	b = b[:len(acc)]
+	for j := range acc {
+		acc[j] += b[j]
+	}
+}
+
+func sumAdd(acc, a, b []float32) {
+	if len(a) == len(acc) && len(b) == len(acc) {
+		a, b = a[:len(acc)], b[:len(acc)]
+		for j := range acc {
+			acc[j] += a[j] + b[j]
+		}
+		return
+	}
+	combineBin(acc, a, b, func(x, y float32) float32 { return x + y }, addInto)
+}
+
+func sumSub(acc, a, b []float32) {
+	if len(a) == len(acc) && len(b) == len(acc) {
+		a, b = a[:len(acc)], b[:len(acc)]
+		for j := range acc {
+			acc[j] += a[j] - b[j]
+		}
+		return
+	}
+	combineBin(acc, a, b, func(x, y float32) float32 { return x - y }, addInto)
+}
+
+func sumMul(acc, a, b []float32) {
+	switch {
+	case len(a) == len(acc) && len(b) == len(acc):
+		a, b = a[:len(acc)], b[:len(acc)]
+		for j := range acc {
+			acc[j] += a[j] * b[j]
+		}
+	case len(b) == 1 && len(a) == len(acc):
+		// The hot GCN path: full-width source features scaled by a scalar
+		// edge weight.
+		w := b[0]
+		a = a[:len(acc)]
+		for j := range acc {
+			acc[j] += a[j] * w
+		}
+	case len(a) == 1 && len(b) == len(acc):
+		w := a[0]
+		b = b[:len(acc)]
+		for j := range acc {
+			acc[j] += w * b[j]
+		}
+	default:
+		combineBin(acc, a, b, func(x, y float32) float32 { return x * y }, addInto)
+	}
+}
+
+func sumDiv(acc, a, b []float32) {
+	switch {
+	case len(a) == len(acc) && len(b) == len(acc):
+		a, b = a[:len(acc)], b[:len(acc)]
+		for j := range acc {
+			acc[j] += a[j] / b[j]
+		}
+	case len(b) == 1 && len(a) == len(acc):
+		d := b[0]
+		a = a[:len(acc)]
+		for j := range acc {
+			acc[j] += a[j] / d
+		}
+	default:
+		combineBin(acc, a, b, func(x, y float32) float32 { return x / y }, addInto)
+	}
+}
+
+// --- max / min classes ---
+
+func maxCopyA(acc, a, b []float32) { maxCopy(acc, a) }
+func maxCopyB(acc, a, b []float32) { maxCopy(acc, b) }
+func minCopyA(acc, a, b []float32) { minCopy(acc, a) }
+func minCopyB(acc, a, b []float32) { minCopy(acc, b) }
+
+func maxCopy(acc, src []float32) {
+	if len(src) == 1 {
+		v := src[0]
+		for j := range acc {
+			if v > acc[j] {
+				acc[j] = v
+			}
+		}
+		return
+	}
+	src = src[:len(acc)]
+	for j := range acc {
+		if src[j] > acc[j] {
+			acc[j] = src[j]
+		}
+	}
+}
+
+func minCopy(acc, src []float32) {
+	if len(src) == 1 {
+		v := src[0]
+		for j := range acc {
+			if v < acc[j] {
+				acc[j] = v
+			}
+		}
+		return
+	}
+	src = src[:len(acc)]
+	for j := range acc {
+		if src[j] < acc[j] {
+			acc[j] = src[j]
+		}
+	}
+}
+
+func maxBin(f func(x, y float32) float32) fusedRow {
+	return func(acc, a, b []float32) { combineBin(acc, a, b, f, maxInto) }
+}
+
+func minBin(f func(x, y float32) float32) fusedRow {
+	return func(acc, a, b []float32) { combineBin(acc, a, b, f, minInto) }
+}
+
+// combineBin is the broadcast-general binary edge op with a pluggable
+// combiner; only non-hot shapes land here.
+func combineBin(acc, a, b []float32, f func(x, y float32) float32, into func(acc []float32, j int, v float32)) {
+	av, bv := float32(0), float32(0)
+	aScalar, bScalar := len(a) == 1, len(b) == 1
+	if aScalar {
+		av = a[0]
+	}
+	if bScalar {
+		bv = b[0]
+	}
+	for j := range acc {
+		x, y := av, bv
+		if !aScalar {
+			x = a[j]
+		}
+		if !bScalar {
+			y = b[j]
+		}
+		into(acc, j, f(x, y))
+	}
+}
+
+func addInto(acc []float32, j int, v float32) { acc[j] += v }
+
+func maxInto(acc []float32, j int, v float32) {
+	if v > acc[j] {
+		acc[j] = v
+	}
+}
+
+func minInto(acc []float32, j int, v float32) {
+	if v < acc[j] {
+		acc[j] = v
+	}
+}

@@ -97,6 +97,45 @@ func TestQuickScheduleEquivalence(t *testing.T) {
 	}
 }
 
+// TestParallelBackendFullRegistry is the exhaustive backend-equivalence
+// property: for EVERY (strategy x operator) pair in the reconstructed
+// registry, the parallel host backend's output matches the reference
+// interpreter within 1e-4. Operands are bounded away from zero so div
+// operators stay tame; the worker pool is forced above one worker and the
+// graph is sized past the sequential cutoff so the concurrent paths run.
+func TestParallelBackendFullRegistry(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := testGraphQuick(rng, 250, 2600)
+	par := NewParallelBackend(4)
+	feat := 13 // 2600 edges x 13 feats clears the small-work cutoff
+
+	for _, entry := range ops.Registry() {
+		op := entry.Info
+		ref := positiveOperands(g, op, feat, rand.New(rand.NewSource(101)))
+		if err := Reference(g, op, ref); err != nil {
+			t.Fatalf("%s: reference: %v", entry.DGLName, err)
+		}
+		for _, strat := range Strategies {
+			got := positiveOperands(g, op, feat, rand.New(rand.NewSource(101)))
+			p, err := Compile(op, Schedule{Strategy: strat, Group: 1, Tile: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", entry.DGLName, strat, err)
+			}
+			k, err := par.Lower(p, g, got)
+			if err != nil {
+				t.Fatalf("%s/%s: lower: %v", entry.DGLName, strat, err)
+			}
+			if err := k.Run(); err != nil {
+				t.Fatalf("%s/%s: run: %v", entry.DGLName, strat, err)
+			}
+			if !got.C.T.AllClose(ref.C.T, 1e-4, 1e-4) {
+				t.Errorf("%s/%s: parallel differs from reference (maxdiff %v)",
+					entry.DGLName, strat, got.C.T.MaxDiff(ref.C.T))
+			}
+		}
+	}
+}
+
 func testGraphQuick(rng *rand.Rand, n, m int) *graph.Graph {
 	b := graph.NewBuilder(n)
 	for i := 0; i < m; i++ {

@@ -40,6 +40,9 @@ type Graph struct {
 	// (the paper's automatic mode when no parallel_info is given).
 	chooser func(schedule.Task) core.Schedule
 	tuner   *schedule.Tuner
+	// backend computes the functional outputs (schedule cost still comes
+	// from the simulator); defaults to core.DefaultBackend().
+	backend core.ExecBackend
 }
 
 // Wrap adapts a structural graph into the message-passing interface,
@@ -54,6 +57,7 @@ func Wrap(g *graph.Graph, dev *gpu.Device) *Graph {
 		edgeData: map[string]*tensor.Dense{},
 		dev:      dev,
 		tuner:    schedule.NewTuner(gpu.WithMaxSampledBlocks(64)),
+		backend:  core.DefaultBackend(),
 	}
 	w.chooser = func(t schedule.Task) core.Schedule {
 		if best, ok := w.tuner.Tune(t); ok {
@@ -70,6 +74,17 @@ func (w *Graph) Structure() *graph.Graph { return w.g }
 // SetScheduleChooser overrides automatic tuning (the explicit parallel_info
 // path of the uGrapher API).
 func (w *Graph) SetScheduleChooser(f func(schedule.Task) core.Schedule) { w.chooser = f }
+
+// SetBackend selects the host compute backend by name ("reference",
+// "parallel", "sim"; empty = process default).
+func (w *Graph) SetBackend(name string) error {
+	b, err := core.Backend(name)
+	if err != nil {
+		return err
+	}
+	w.backend = b
+	return nil
+}
 
 // SetNData stores a per-vertex feature tensor under name (DGL:
 // g.srcdata[name] = x).
@@ -258,7 +273,9 @@ func (w *Graph) runOp(info ops.OpInfo, operands core.Operands, feat int, outFiel
 		Device: w.dev,
 	}
 	sched := w.chooser(task)
-	res, err := core.Run(w.g, info, operands, sched, w.dev)
+	// RunWith lowers once through the backend abstraction: operand
+	// validation happens at lowering, not per execution.
+	res, err := core.RunWith(w.backend, w.g, info, operands, sched, w.dev)
 	if err != nil {
 		return gpu.Metrics{}, err
 	}

@@ -14,6 +14,10 @@ import (
 type TunedEngine struct {
 	Dev   *gpu.Device
 	Tuner *schedule.Tuner
+	// Compute is the host backend functional execution runs on
+	// (nil = core.DefaultBackend()). Schedule cost always comes from the
+	// simulator regardless of this choice.
+	Compute core.ExecBackend
 }
 
 // NewTunedEngine builds a grid-search engine for dev.
@@ -23,6 +27,9 @@ func NewTunedEngine(dev *gpu.Device) *TunedEngine {
 		Tuner: schedule.NewTuner(gpu.WithMaxSampledBlocks(96)),
 	}
 }
+
+// ComputeBackend implements BackendProvider.
+func (e *TunedEngine) ComputeBackend() core.ExecBackend { return e.Compute }
 
 // Name implements Engine.
 func (e *TunedEngine) Name() string { return "uGrapher" }
@@ -52,12 +59,18 @@ func (e *TunedEngine) ScheduleFor(t schedule.Task) core.Schedule {
 type PredictedEngine struct {
 	Dev *gpu.Device
 	P   *predictor.Predictor
+	// Compute is the host backend functional execution runs on
+	// (nil = core.DefaultBackend()).
+	Compute core.ExecBackend
 }
 
 // NewPredictedEngine wraps a trained predictor.
 func NewPredictedEngine(dev *gpu.Device, p *predictor.Predictor) *PredictedEngine {
 	return &PredictedEngine{Dev: dev, P: p}
 }
+
+// ComputeBackend implements BackendProvider.
+func (e *PredictedEngine) ComputeBackend() core.ExecBackend { return e.Compute }
 
 // Name implements Engine.
 func (e *PredictedEngine) Name() string { return "uGrapher-pred" }
@@ -94,7 +107,15 @@ type FixedEngine struct {
 	// HostOverheadCycles is the per-graph-operator dispatch cost of the
 	// framework's host path.
 	HostOverheadCycles float64
+	// Compute is the host backend functional execution runs on
+	// (nil = core.DefaultBackend()). Baselines differ in *schedule*, not in
+	// functional semantics, so they share whatever backend computes
+	// outputs.
+	Compute core.ExecBackend
 }
+
+// ComputeBackend implements BackendProvider.
+func (e *FixedEngine) ComputeBackend() core.ExecBackend { return e.Compute }
 
 // Name implements Engine.
 func (e *FixedEngine) Name() string { return e.EngineName }

@@ -44,6 +44,26 @@ type Engine interface {
 	GraphOpOverheadCycles() float64
 }
 
+// BackendProvider is optionally implemented by engines that pin the host
+// compute backend functional execution runs on (reference interpreter,
+// parallel worker pool, or simulator). Engines without it use
+// core.DefaultBackend(). Note the separation: ScheduleFor decides the
+// simulated schedule *cost*, the compute backend only decides how the
+// functional outputs are produced.
+type BackendProvider interface {
+	ComputeBackend() core.ExecBackend
+}
+
+// computeBackend resolves an engine's compute backend.
+func computeBackend(eng Engine) core.ExecBackend {
+	if p, ok := eng.(BackendProvider); ok {
+		if b := p.ComputeBackend(); b != nil {
+			return b
+		}
+	}
+	return core.DefaultBackend()
+}
+
 // OpCost records one executed operator in a cost report.
 type OpCost struct {
 	Name     string
@@ -81,6 +101,7 @@ type exec struct {
 	g          *graph.Graph
 	eng        Engine
 	dev        *gpu.Device
+	backend    core.ExecBackend
 	functional bool
 	training   bool
 	reversed   *graph.Graph
@@ -91,9 +112,10 @@ type exec struct {
 
 func newExec(g *graph.Graph, eng Engine, functional bool, model string) *exec {
 	return &exec{
-		g: g, eng: eng, dev: eng.Device(), functional: functional,
-		rng:    rand.New(rand.NewSource(1234)),
-		report: CostReport{Model: model, Engine: eng.Name()},
+		g: g, eng: eng, dev: eng.Device(), backend: computeBackend(eng),
+		functional: functional,
+		rng:        rand.New(rand.NewSource(1234)),
+		report:     CostReport{Model: model, Engine: eng.Name()},
 	}
 }
 
@@ -210,7 +232,13 @@ func (e *exec) graphOp(name string, op ops.OpInfo, a, b vt, outCols int) vt {
 			e.err = err
 			return vt{}
 		}
-		if err := plan.Execute(e.g, operands); err != nil {
+		// Lowering validates the operands once; Run skips re-validation.
+		kern, err := e.backend.Lower(plan, e.g, operands)
+		if err != nil {
+			e.err = err
+			return vt{}
+		}
+		if err := kern.Run(); err != nil {
 			e.err = err
 			return vt{}
 		}
