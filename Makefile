@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race vet
+.PHONY: build test check bench bench-models race vet
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # race runs the concurrency-sensitive packages (the parallel host backend
-# and its consumers) under the race detector.
+# and its consumers, including the compiled-program runtime) under the race
+# detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/models/...
+	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/...
 
 # check is the pre-commit gate: static analysis plus the race-enabled
 # tests of the backend-facing packages.
@@ -24,3 +25,9 @@ check: vet race
 # skewed (AR) and regular (PR) datasets.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkBackendCompare -benchmem .
+
+# bench-models regenerates the compiled-vs-interpreted whole-model
+# comparison (GCN and GAT on AR and PR); compiled rows must report
+# 0 allocs/op.
+bench-models:
+	$(GO) test -run '^$$' -bench BenchmarkForwardCompiled -benchmem .

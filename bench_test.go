@@ -18,6 +18,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/gpu"
 	"repro/internal/graph"
+	"repro/internal/models"
 	"repro/internal/ops"
 	"repro/internal/schedule"
 	"repro/internal/tensor"
@@ -193,6 +194,71 @@ func BenchmarkBackendCompare(b *testing.B) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// --- compiled model programs: compile-once steady state vs interpreter ---
+
+// BenchmarkForwardCompiled compares the compiled model path (record ->
+// fuse -> schedule -> buffer-plan once, then reuse kernels and arena)
+// against the op-by-op interpreter for GCN and GAT on a skewed (AR) and a
+// regular (PR) dataset. Run with -benchmem: the compiled steady state
+// reports 0 allocs/op for intermediates; the interpreter re-lowers kernels
+// and allocates per-stage tensors every iteration. This is the ISSUE-2
+// acceptance benchmark; EXPERIMENTS.md records the measured numbers.
+func BenchmarkForwardCompiled(b *testing.B) {
+	ar, pr := loadBackendBenchGraphs(b)
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{{"AR-skewed", ar}, {"PR-regular", pr}}
+	const feat, classes = 32, 16
+	for _, gr := range graphs {
+		for _, mn := range []string{"GCN", "GAT"} {
+			m, err := models.ByName(mn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// A fixed engine keeps schedule choice out of the timing: both
+			// paths run identical kernels, so the delta is host overhead.
+			eng := &models.FixedEngine{
+				EngineName:   "bench",
+				Dev:          gpu.V100(),
+				AggrSchedule: core.DefaultSchedule,
+				MsgCSchedule: core.DefaultSchedule,
+				Fuses:        true,
+				Compute:      core.NewParallelBackend(0),
+			}
+			x := tensor.NewDense(gr.g.NumVertices(), feat)
+			x.FillRandom(rand.New(rand.NewSource(7)), 1)
+
+			b.Run(gr.name+"/"+mn+"/interpreted", func(b *testing.B) {
+				if _, err := m.Forward(gr.g, x, classes, eng); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Forward(gr.g, x, classes, eng); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(gr.name+"/"+mn+"/compiled", func(b *testing.B) {
+				cp, err := models.CompileModel(m, gr.g, feat, classes, eng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cp.Run(x); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := cp.Run(x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

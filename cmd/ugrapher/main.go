@@ -9,6 +9,14 @@
 //	ugrapher -dataset AR -op copy_u.max -feat 64 -schedule WE_G8_T1
 //	ugrapher -dataset SB -op u_add_v -feat 8 -tune -top 10
 //	ugrapher -graph edges.txt -op copy_u.sum -feat 16 -gpu A100 -source
+//
+// With -model it runs a whole GNN instead of one operator: the model's
+// forward pass is recorded as a program, fused, scheduled and buffer-planned
+// once (compile time reported separately from the steady-state run time).
+// -no-compile forces the op-by-op interpreter path instead:
+//
+//	ugrapher -dataset CO -model GCN -feat 32 -classes 16
+//	ugrapher -dataset CO -model GAT -feat 32 -no-compile
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/gpu"
 	"repro/internal/graph"
+	"repro/internal/models"
 	"repro/internal/ops"
 	"repro/internal/schedule"
 	"repro/internal/tensor"
@@ -38,6 +47,10 @@ func main() {
 	top := flag.Int("top", 5, "with -tune: how many candidates to print")
 	source := flag.Bool("source", false, "print the generated kernel source")
 	backend := flag.String("backend", "", "host compute backend: reference, parallel or sim (empty = parallel / $UGRAPHER_BACKEND)")
+	model := flag.String("model", "", "run a whole model instead of one operator: GCN, GIN, GAT, SSum, SMax or SMean")
+	classes := flag.Int("classes", 16, "with -model: number of output classes")
+	runs := flag.Int("runs", 5, "with -model: steady-state repetitions to time")
+	noCompile := flag.Bool("no-compile", false, "with -model: skip program compilation and interpret op by op")
 	flag.Parse()
 
 	if *backend != "" {
@@ -46,33 +59,114 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if err := run(*dataset, *graphFile, *opName, *feat, *gpuName, *schedText, *tune, *top, *source); err != nil {
+	var err error
+	if *model != "" {
+		err = runModel(*dataset, *graphFile, *model, *feat, *classes, *gpuName, *runs, *noCompile)
+	} else {
+		err = run(*dataset, *graphFile, *opName, *feat, *gpuName, *schedText, *tune, *top, *source)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, graphFile, opName string, feat int, gpuName, schedText string, tune bool, top int, source bool) error {
-	var g *graph.Graph
-	switch {
-	case dataset != "":
-		loaded, _, err := datasets.Load(dataset)
-		if err != nil {
+// runModel times a whole model, either compiled (record -> fuse -> schedule
+// -> buffer-plan once, then repeated zero-allocation runs) or interpreted
+// (the op-by-op path, rebuilt every run), printing the one-off compile cost
+// and the steady-state per-run wall clock on separate lines.
+func runModel(dataset, graphFile, name string, feat, classes int, gpuName string, runs int, noCompile bool) error {
+	g, err := loadGraph(dataset, graphFile)
+	if err != nil {
+		return err
+	}
+	m, err := models.ByName(name)
+	if err != nil {
+		return err
+	}
+	dev := gpu.V100()
+	if gpuName == "A100" {
+		dev = gpu.A100()
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	eng := models.NewTunedEngine(dev)
+	st := g.ComputeStats()
+	fmt.Printf("graph: |V|=%d |E|=%d mean-degree=%.1f std=%.1f\n",
+		st.NumVertices, st.NumEdges, st.MeanInDegree, st.StdInDegree)
+
+	x := tensor.NewDense(g.NumVertices(), feat)
+	x.FillRandom(rand.New(rand.NewSource(42)), 1)
+
+	if noCompile {
+		// Interpreter path: every run re-resolves schedules and re-lowers
+		// kernels through the stage executor.
+		if _, err := m.Forward(g, x, classes, eng); err != nil { // warm-up
 			return err
 		}
-		g = loaded
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			if _, err := m.Forward(g, x, classes, eng); err != nil {
+				return err
+			}
+		}
+		per := time.Since(start) / time.Duration(runs)
+		fmt.Printf("model: %s feat=%d classes=%d path=interpreter backend=%s\n",
+			m.Name(), feat, classes, core.DefaultBackend().Name())
+		fmt.Printf("steady-state: %v/run over %d runs (interpreter rebuilds kernels every run)\n",
+			per.Round(time.Microsecond), runs)
+		return nil
+	}
+
+	compileStart := time.Now()
+	cp, err := models.CompileModel(m, g, feat, classes, eng)
+	if err != nil {
+		return err
+	}
+	compileTime := time.Since(compileStart)
+	if _, err := cp.Run(x); err != nil { // warm-up
+		return err
+	}
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		if _, err := cp.Run(x); err != nil {
+			return err
+		}
+	}
+	per := time.Since(start) / time.Duration(runs)
+	s := cp.Stats()
+	fmt.Printf("model: %s feat=%d classes=%d path=compiled backend=%s\n",
+		m.Name(), feat, classes, core.DefaultBackend().Name())
+	fmt.Printf("program: %d graph kernels (%d fused pairs, %d nodes eliminated), %d reusable buffer slots, arena=%.1f MiB\n",
+		s.GraphKernels, s.FusedPairs, s.RemovedNodes, s.BufferSlots, float64(s.ArenaFloats)*4/(1<<20))
+	fmt.Printf("compile: %v (record + fuse + schedule + buffer-plan, paid once)\n", compileTime.Round(time.Microsecond))
+	fmt.Printf("steady-state: %v/run over %d runs (zero allocations per run)\n", per.Round(time.Microsecond), runs)
+	return nil
+}
+
+// loadGraph resolves the -dataset / -graph flags to a graph.
+func loadGraph(dataset, graphFile string) (*graph.Graph, error) {
+	switch {
+	case dataset != "":
+		g, _, err := datasets.Load(dataset)
+		return g, err
 	case graphFile != "":
 		f, err := os.Open(graphFile)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
-		g, err = graph.ReadEdgeList(f)
-		if err != nil {
-			return err
-		}
+		return graph.ReadEdgeList(f)
 	default:
-		return fmt.Errorf("need -dataset or -graph")
+		return nil, fmt.Errorf("need -dataset or -graph")
+	}
+}
+
+func run(dataset, graphFile, opName string, feat int, gpuName, schedText string, tune bool, top int, source bool) error {
+	g, err := loadGraph(dataset, graphFile)
+	if err != nil {
+		return err
 	}
 
 	entry, ok := ops.Lookup(opName)

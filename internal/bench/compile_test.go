@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestExtCompile(t *testing.T) {
+	tab := runQuick(t, "ext-compile")
+	for _, row := range tab.Rows {
+		kernels, err := strconv.Atoi(row[2])
+		if err != nil || kernels <= 0 {
+			t.Errorf("bad graph-kernel count %q: %v", row[2], row)
+		}
+		pairs, err := strconv.Atoi(row[3])
+		if err != nil || pairs <= 0 {
+			t.Errorf("fusion produced no pairs: %v", row)
+		}
+		arena, err := strconv.ParseFloat(row[4], 64)
+		if err != nil || arena <= 0 {
+			t.Errorf("bad arena size %q: %v", row[4], row)
+		}
+		// Wall-clock columns must parse; the speedup ratio is hardware- and
+		// load-dependent, so only sanity-check it is positive.
+		for _, col := range []int{5, 6, 7} {
+			if v, err := strconv.ParseFloat(row[col], 64); err != nil || v <= 0 {
+				t.Errorf("bad timing cell %q: %v", row[col], row)
+			}
+		}
+	}
+}

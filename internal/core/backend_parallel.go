@@ -26,9 +26,6 @@ import (
 // count resolves to UGRAPHER_WORKERS or runtime.NumCPU().
 type ParallelBackend struct {
 	workers int
-	// bufPool recycles the per-shard partial output buffers of
-	// edge-parallel reductions across Run calls and kernels.
-	bufPool sync.Pool
 }
 
 // NewParallelBackend builds a backend with the given worker-pool size
@@ -52,21 +49,6 @@ func (b *ParallelBackend) Name() string { return "parallel" }
 
 // Workers reports the worker-pool size.
 func (b *ParallelBackend) Workers() int { return b.workers }
-
-// getBuf returns a float32 buffer of at least n elements from the pool.
-func (b *ParallelBackend) getBuf(n int) []float32 {
-	if v := b.bufPool.Get(); v != nil {
-		buf := *(v.(*[]float32))
-		if cap(buf) >= n {
-			return buf[:n]
-		}
-	}
-	return make([]float32, n)
-}
-
-func (b *ParallelBackend) putBuf(buf []float32) {
-	b.bufPool.Put(&buf)
-}
 
 // Lower implements ExecBackend: validate once, resolve operand row
 // selectors, and pick the specialized inner loop.
@@ -93,8 +75,31 @@ type parallelKernel struct {
 	selB rowSel
 	row  fusedRow
 
+	// partials are the per-worker private output buffers of edge-parallel
+	// reductions, owned by the kernel and reused across Run calls so the
+	// steady state allocates nothing (the kernel-reuse contract compiled
+	// model programs rely on). Grown lazily on the first multi-worker run.
+	partials [][]float32
+
 	runs   int64
 	shards int64
+}
+
+// partialBufs returns `workers` buffers of n floats each, reusing previous
+// runs' allocations.
+func (k *parallelKernel) partialBufs(workers, n int) [][]float32 {
+	if len(k.partials) < workers {
+		k.partials = append(k.partials, make([][]float32, workers-len(k.partials))...)
+	}
+	bufs := k.partials[:workers]
+	for w := range bufs {
+		if cap(bufs[w]) < n {
+			bufs[w] = make([]float32, n)
+		} else {
+			bufs[w] = bufs[w][:n]
+		}
+	}
+	return bufs
 }
 
 // Plan implements CompiledKernel.
@@ -183,51 +188,69 @@ func forChunks(items, workers int, body func(lo, hi int32)) int64 {
 }
 
 // runMessageCreation writes each edge's output row exactly once, so edges
-// shard freely regardless of the strategy's traversal order.
+// shard freely regardless of the strategy's traversal order. The
+// single-worker case calls the range body directly: a closure handed to
+// forChunks escapes (the multi-worker branch gives it to goroutines) and
+// would cost one heap allocation per run, breaking the zero-steady-state
+// contract compiled programs rely on.
 func (k *parallelKernel) runMessageCreation(workers int) {
+	if workers <= 1 {
+		k.messageRange(0, int32(k.g.NumEdges()))
+		k.shards++
+		return
+	}
+	k.shards += forChunks(k.g.NumEdges(), workers, k.messageRange)
+}
+
+func (k *parallelKernel) messageRange(lo, hi int32) {
 	out := k.o.C.T
 	edgeSrc, edgeDst := k.g.EdgeSrcs(), k.g.EdgeDsts()
-	k.shards += forChunks(k.g.NumEdges(), workers, func(lo, hi int32) {
-		for e := lo; e < hi; e++ {
-			u, v := edgeSrc[e], edgeDst[e]
-			k.row(out.Row(int(e)), k.selA(e, u, v), k.selB(e, u, v))
-		}
-	})
+	for e := lo; e < hi; e++ {
+		u, v := edgeSrc[e], edgeDst[e]
+		k.row(out.Row(int(e)), k.selA(e, u, v), k.selB(e, u, v))
+	}
 }
 
 // runVertexParallel mirrors the thread-vertex / warp-vertex kernels: one
 // owner per output row, register-style accumulation, no synchronization on
 // the output.
 func (k *parallelKernel) runVertexParallel(workers int) {
+	if workers <= 1 {
+		k.vertexRange(0, int32(k.g.NumVertices()))
+		k.shards++
+		return
+	}
+	k.shards += forChunks(k.g.NumVertices(), workers, k.vertexRange)
+}
+
+func (k *parallelKernel) vertexRange(lo, hi int32) {
 	out := k.o.C.T
 	gop := k.p.Op.GatherOp
 	identity := gop.Identity()
 	mean := gop == ops.GatherMean
-	k.shards += forChunks(k.g.NumVertices(), workers, func(lo, hi int32) {
-		for v := lo; v < hi; v++ {
-			row := out.Row(int(v))
-			srcs, eids := k.g.InEdges(v)
-			if len(eids) == 0 {
-				for j := range row {
-					row[j] = 0 // zero-degree convention (DGL)
-				}
-				continue
-			}
+	for v := lo; v < hi; v++ {
+		row := out.Row(int(v))
+		srcs, eids := k.g.InEdges(v)
+		if len(eids) == 0 {
 			for j := range row {
-				row[j] = identity
+				row[j] = 0 // zero-degree convention (DGL)
 			}
-			for i, e := range eids {
-				u := srcs[i]
-				k.row(row, k.selA(e, u, v), k.selB(e, u, v))
-			}
-			if mean {
-				inv := 1 / float32(len(eids))
-				for j := range row {
-					row[j] *= inv
-				}
+			continue
+		}
+		for j := range row {
+			row[j] = identity
+		}
+		for i, e := range eids {
+			u := srcs[i]
+			k.row(row, k.selA(e, u, v), k.selB(e, u, v))
+		}
+		if mean {
+			inv := 1 / float32(len(eids))
+			for j := range row {
+				row[j] *= inv
 			}
 		}
-	})
+	}
 }
 
 // runEdgeParallel mirrors the thread-edge / warp-edge kernels. Where the
@@ -260,22 +283,19 @@ func (k *parallelKernel) runEdgeParallel(workers int) {
 	}
 
 	// Phase 1: each worker reduces a contiguous edge shard into its own
-	// partial buffer (identity-filled, recycled via the backend pool).
-	partials := make([][]float32, workers)
-	var wg sync.WaitGroup
+	// partial buffer (identity-filled, owned by the kernel and reused across
+	// Run calls). Shards are a prefix of the worker range: with ceil division
+	// only trailing workers can come up empty, so exactly nw buffers are live.
 	per := (numE + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	nw := (numE + per - 1) / per
+	partials := k.partialBufs(nw, numV*feat)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
 		lo := w * per
 		hi := lo + per
 		if hi > numE {
 			hi = numE
 		}
-		if lo >= hi {
-			partials[w] = nil
-			continue
-		}
-		buf := k.b.getBuf(numV * feat)
-		partials[w] = buf
 		wg.Add(1)
 		go func(lo, hi int32, buf []float32) {
 			defer wg.Done()
@@ -286,7 +306,7 @@ func (k *parallelKernel) runEdgeParallel(workers int) {
 				u, v := edgeSrc[e], edgeDst[e]
 				k.row(buf[int(v)*feat:int(v)*feat+feat], k.selA(e, u, v), k.selB(e, u, v))
 			}
-		}(int32(lo), int32(hi), buf)
+		}(int32(lo), int32(hi), partials[w])
 		k.shards++
 	}
 	wg.Wait()
@@ -308,9 +328,6 @@ func (k *parallelKernel) runEdgeParallel(workers int) {
 				row[j] = identity
 			}
 			for _, buf := range partials {
-				if buf == nil {
-					continue
-				}
 				mergeRow(gop, row, buf[int(v)*feat:int(v)*feat+feat])
 			}
 			if mean {
@@ -321,36 +338,40 @@ func (k *parallelKernel) runEdgeParallel(workers int) {
 			}
 		}
 	})
-	for _, buf := range partials {
-		if buf != nil {
-			k.b.putBuf(buf)
-		}
-	}
 }
 
 // fixupVertexRows applies the zero-degree and mean post-passes to the
 // output, in parallel over vertex ranges.
 func (k *parallelKernel) fixupVertexRows(workers int, mean bool) {
+	if workers <= 1 {
+		k.fixupRange(0, int32(k.g.NumVertices()), mean)
+		k.shards++
+		return
+	}
+	k.shards += forChunks(k.g.NumVertices(), workers, func(lo, hi int32) {
+		k.fixupRange(lo, hi, mean)
+	})
+}
+
+func (k *parallelKernel) fixupRange(lo, hi int32, mean bool) {
 	out := k.o.C.T
 	g := k.g
-	k.shards += forChunks(g.NumVertices(), workers, func(lo, hi int32) {
-		for v := lo; v < hi; v++ {
-			row := out.Row(int(v))
-			deg := g.InDegree(v)
-			if deg == 0 {
-				for j := range row {
-					row[j] = 0
-				}
-				continue
+	for v := lo; v < hi; v++ {
+		row := out.Row(int(v))
+		deg := g.InDegree(v)
+		if deg == 0 {
+			for j := range row {
+				row[j] = 0
 			}
-			if mean {
-				inv := 1 / float32(deg)
-				for j := range row {
-					row[j] *= inv
-				}
+			continue
+		}
+		if mean {
+			inv := 1 / float32(deg)
+			for j := range row {
+				row[j] *= inv
 			}
 		}
-	})
+	}
 }
 
 // mergeRow folds one shard's partial row into the output row with the

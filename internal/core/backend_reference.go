@@ -25,7 +25,12 @@ func (refBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, er
 	if err := p.validateOperands(g.NumVertices(), g.NumEdges(), o); err != nil {
 		return nil, err
 	}
-	return &refKernel{p: p, g: g, o: o, fa: makeFetcher(o.A), fb: makeFetcher(o.B)}, nil
+	return &refKernel{
+		p: p, g: g, o: o, fa: makeFetcher(o.A), fb: makeFetcher(o.B),
+		// Scratch for the vertex-centric accumulator, held by the kernel so
+		// repeated Run calls allocate nothing.
+		acc: make([]float32, o.C.T.Cols),
+	}, nil
 }
 
 type refKernel struct {
@@ -33,6 +38,7 @@ type refKernel struct {
 	g      *graph.Graph
 	o      Operands
 	fa, fb fetcher
+	acc    []float32
 	runs   int64
 }
 
@@ -47,7 +53,7 @@ func (k *refKernel) Run() error {
 	case p.Op.CKind == tensor.EdgeK:
 		p.executeMessageCreation(g, o, k.fa, k.fb, f)
 	case p.Schedule.Strategy.VertexParallel():
-		p.executeVertexCentric(g, o, k.fa, k.fb, f)
+		p.executeVertexCentric(g, o, k.fa, k.fb, f, k.acc)
 	default:
 		p.executeEdgeCentric(g, o, k.fa, k.fb, f)
 	}

@@ -80,12 +80,14 @@ func (p *Plan) executeMessageCreation(g *graph.Graph, o Operands, fa, fb fetcher
 }
 
 // executeVertexCentric accumulates each destination's reduction in registers
-// (the vertex-parallel kernels' behaviour: one owner per output row).
-func (p *Plan) executeVertexCentric(g *graph.Graph, o Operands, fa, fb fetcher, f int) {
+// (the vertex-parallel kernels' behaviour: one owner per output row). acc is
+// caller-provided scratch of at least f floats, so lowered kernels can run
+// repeatedly without allocating.
+func (p *Plan) executeVertexCentric(g *graph.Graph, o Operands, fa, fb fetcher, f int, acc []float32) {
 	out := o.C.T
 	eop, gop := p.Op.EdgeOp, p.Op.GatherOp
 	identity := gop.Identity()
-	acc := make([]float32, f)
+	acc = acc[:f]
 	for v := int32(0); v < int32(g.NumVertices()); v++ {
 		srcs, eids := g.InEdges(v)
 		row := out.Row(int(v))

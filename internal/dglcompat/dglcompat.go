@@ -306,3 +306,64 @@ func (w *Graph) ApplyEdges(msg MessageFn) (gpu.Metrics, error) {
 	}
 	return w.runOp(info, operands, feat, msg.outField)
 }
+
+// CompiledUpdateAll is a reusable handle for one update_all call: field
+// resolution, schedule choice and kernel lowering happened once at
+// CompileUpdateAll time, so each Run only executes the kernel — no lookup,
+// no tuning, no allocation. It reads the SAME operand tensors it captured
+// at compile time (mutate them in place to change inputs; replacing a frame
+// with SetNData/SetEData requires recompiling) and writes the same output
+// tensor, registered under the reduce function's output field.
+type CompiledUpdateAll struct {
+	kern  core.CompiledKernel
+	sched core.Schedule
+	info  ops.OpInfo
+	out   *tensor.Dense
+}
+
+// CompileUpdateAll resolves and lowers update_all(msg, reduce) once,
+// returning a handle whose Run re-executes the kernel against the captured
+// frames. This is the epoch-loop shape: DGL programs call update_all with
+// identical arguments every layer of every epoch, and all the work besides
+// the kernel itself is loop-invariant.
+func (w *Graph) CompileUpdateAll(msg MessageFn, reduce ReduceFn) (*CompiledUpdateAll, error) {
+	info, operands, feat, err := w.opInfoFor(msg, &reduce)
+	if err != nil {
+		return nil, err
+	}
+	cols := func(t tensor.Typed) int {
+		if t.T == nil {
+			return 0
+		}
+		return t.T.Cols
+	}
+	task := schedule.Task{
+		Graph: w.g, Op: info, Feat: feat,
+		ACols: cols(operands.A), BCols: cols(operands.B),
+		Device: w.dev,
+	}
+	sched := w.chooser(task)
+	plan, err := core.Compile(info, sched)
+	if err != nil {
+		return nil, err
+	}
+	kern, err := w.backend.Lower(plan, w.g, operands)
+	if err != nil {
+		return nil, err
+	}
+	w.nodeData[reduce.outField] = operands.C.T
+	return &CompiledUpdateAll{kern: kern, sched: sched, info: info, out: operands.C.T}, nil
+}
+
+// Run executes the compiled kernel, refreshing the output field in place.
+func (c *CompiledUpdateAll) Run() error { return c.kern.Run() }
+
+// Output returns the destination tensor the kernel writes (aliased by the
+// graph's output field).
+func (c *CompiledUpdateAll) Output() *tensor.Dense { return c.out }
+
+// Schedule reports the schedule resolved at compile time.
+func (c *CompiledUpdateAll) Schedule() core.Schedule { return c.sched }
+
+// OpInfo reports the operator the handle executes.
+func (c *CompiledUpdateAll) OpInfo() ops.OpInfo { return c.info }

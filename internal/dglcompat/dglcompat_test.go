@@ -241,3 +241,96 @@ func TestBroadcastWeights(t *testing.T) {
 		t.Errorf("broadcast weighting wrong (maxdiff %v)", rst.MaxDiff(scaled))
 	}
 }
+
+// TestCompileUpdateAll: the compiled handle matches the one-shot UpdateAll,
+// reruns see in-place input mutations, and the steady state allocates
+// nothing.
+func TestCompileUpdateAll(t *testing.T) {
+	w := testWrap(t, 30)
+	if err := w.SetBackend("reference"); err != nil {
+		t.Fatal(err)
+	}
+	h := fillND(t, w, "h", 8, 31)
+	fillED(t, w, "w", 1, 32)
+
+	msg, err := Binary("u_mul_e", "h", "w", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Reduce("sum", "m", "rst")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: the one-shot path on a second wrapper with identical frames.
+	w2 := Wrap(w.Structure(), nil)
+	if err := w2.SetBackend("reference"); err != nil {
+		t.Fatal(err)
+	}
+	fillND(t, w2, "h", 8, 31)
+	fillED(t, w2, "w", 1, 32)
+	if _, err := w2.UpdateAll(msg, red); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := w2.NData("rst")
+
+	c, err := w.CompileUpdateAll(msg, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w.NData("rst")
+	if !ok {
+		t.Fatal("rst field not registered")
+	}
+	if got != c.Output() {
+		t.Error("output field does not alias the handle's tensor")
+	}
+	if !got.AllClose(want, 1e-5, 1e-5) {
+		t.Fatalf("compiled result diverges from UpdateAll (maxdiff %v)", got.MaxDiff(want))
+	}
+
+	// In-place input mutation is visible to the next Run.
+	for i := range h.Data {
+		h.Data[i] *= 2
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want2 := want.Clone()
+	for i := range want2.Data {
+		want2.Data[i] *= 2
+	}
+	if !got.AllClose(want2, 1e-5, 1e-5) {
+		t.Fatalf("rerun after input mutation diverges (maxdiff %v)", got.MaxDiff(want2))
+	}
+
+	// Steady state: the handle's Run allocates nothing.
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("compiled Run allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestCompileUpdateAllMissingField: compilation fails fast on unresolved
+// frames instead of deferring the error to Run.
+func TestCompileUpdateAllMissingField(t *testing.T) {
+	w := testWrap(t, 33)
+	msg, err := Binary("u_mul_e", "h", "w", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Reduce("sum", "m", "rst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.CompileUpdateAll(msg, red); err == nil {
+		t.Fatal("expected missing-field error")
+	}
+}

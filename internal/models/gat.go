@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/program"
 	"repro/internal/tensor"
 )
 
@@ -33,64 +34,43 @@ func NewGAT() *GAT { return &GAT{Heads: 8, Hidden: 8, Layers: 2} }
 // Name implements Model.
 func (m *GAT) Name() string { return "GAT" }
 
-func (m *GAT) run(e *exec, h vt, classes int) vt {
+func (m *GAT) run(st stage, h vt, classes int) vt {
 	for l := 0; l < m.Layers; l++ {
 		out := m.Heads * m.Hidden
 		if l == m.Layers-1 {
 			out = classes
 		}
 		tag := fmt.Sprintf("GAT_L%d", l+1)
-		z := e.gemm(tag+"_xw", h, out)
+		z := st.gemm(tag+"_xw", h, out)
 		// Per-head attention terms for source and destination roles.
-		attnSrc := e.gemm(tag+"_attn_l", z, m.Heads)
-		attnDst := e.gemm(tag+"_attn_r", z, m.Heads)
+		attnSrc := st.gemm(tag+"_attn_l", z, m.Heads)
+		attnDst := st.gemm(tag+"_attn_r", z, m.Heads)
 		// Message creation: per-edge attention logits (feature width = heads).
-		logits := e.graphOp(tag+"_MsgC", ops.OpInfo{
+		logits := st.graphOp(tag+"_MsgC", ops.OpInfo{
 			EdgeOp: ops.EdgeAdd, GatherOp: ops.GatherCopyRHS,
 			AKind: tensor.SrcV, BKind: tensor.DstV, CKind: tensor.EdgeK,
 		}, asKind(attnSrc, tensor.SrcV), asKind(attnDst, tensor.DstV), m.Heads)
-		logits = e.elementwise(tag+"_leaky_exp", logits, 0, func(d *tensor.Dense) {
-			tensor.LeakyReLU(d, 0.2)
-			tensor.Exp(d)
+		logits = st.unary(tag+"_leaky_exp", logits, 0, []program.Unary{
+			{Kind: program.UnaryLeakyReLU, Alpha: 0.2},
+			{Kind: program.UnaryExp},
 		})
 		// Softmax denominator: per-destination sum of exponentials.
-		denom := e.graphOp(tag+"_softmax_sum", ops.OpInfo{
+		denom := st.graphOp(tag+"_softmax_sum", ops.OpInfo{
 			EdgeOp: ops.CopyRHS, GatherOp: ops.GatherSum,
 			AKind: tensor.Null, BKind: tensor.EdgeK, CKind: tensor.DstV,
 		}, vt{}, logits, m.Heads)
-		alpha := e.graphOp(tag+"_softmax_div", ops.OpInfo{
+		alpha := st.graphOp(tag+"_softmax_div", ops.OpInfo{
 			EdgeOp: ops.EdgeDiv, GatherOp: ops.GatherCopyRHS,
 			AKind: tensor.EdgeK, BKind: tensor.DstV, CKind: tensor.EdgeK,
 		}, logits, asKind(denom, tensor.DstV), m.Heads)
 		// Merge heads into one broadcastable scalar per edge.
-		alphaScalar := m.mergeHeads(e, tag, alpha)
+		alphaScalar := st.headMerge(tag+"_head_merge", alpha)
 		// Weighted aggregation of transformed features.
-		h = e.fusedAggr(tag+"_Aggr", ops.EdgeMul, ops.GatherSum,
+		h = fusedAggr(st, tag+"_Aggr", ops.EdgeMul, ops.GatherSum,
 			asKind(z, tensor.SrcV), alphaScalar, out)
-		h = e.elementwise(tag+"_elu", h, 0, func(d *tensor.Dense) {
-			tensor.LeakyReLU(d, 0.1)
-		})
+		h = st.unary(tag+"_elu", h, 0, []program.Unary{{Kind: program.UnaryLeakyReLU, Alpha: 0.1}})
 	}
 	return h
-}
-
-// mergeHeads reduces the per-head attention columns to one scalar per edge.
-func (m *GAT) mergeHeads(e *exec, tag string, alpha vt) vt {
-	out := vt{kind: tensor.EdgeK, cols: 1}
-	e.elementwise(tag+"_head_merge", alpha, 1, nil)
-	if e.functional {
-		d := tensor.NewDense(e.g.NumEdges(), 1)
-		inv := 1 / float32(alpha.cols)
-		for r := 0; r < d.Rows; r++ {
-			var s float32
-			for _, v := range alpha.data.Row(r) {
-				s += v
-			}
-			d.Data[r] = s * inv
-		}
-		out.data = d
-	}
-	return out
 }
 
 // InferenceCost implements Model.

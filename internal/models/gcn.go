@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/program"
 	"repro/internal/tensor"
 )
 
@@ -23,20 +24,18 @@ func NewGCN() *GCN { return &GCN{Hidden: 16, Layers: 2} }
 // Name implements Model.
 func (m *GCN) Name() string { return "GCN" }
 
-func (m *GCN) run(e *exec, h vt, classes int) vt {
-	w := e.edgeScalar()
+func (m *GCN) run(st stage, h vt, classes int) vt {
+	w := st.edgeScalar()
 	for l := 0; l < m.Layers; l++ {
 		out := m.Hidden
 		if l == m.Layers-1 {
 			out = classes
 		}
 		tag := fmt.Sprintf("GCN_L%d", l+1)
-		h = e.gemm(tag+"_xw", h, out)
-		h = e.fusedAggr(tag+"_Aggr", ops.EdgeMul, ops.GatherSum,
+		h = st.gemm(tag+"_xw", h, out)
+		h = fusedAggr(st, tag+"_Aggr", ops.EdgeMul, ops.GatherSum,
 			asKind(h, tensor.SrcV), w, out)
-		h = e.elementwise(tag+"_bias_relu", h, 1, func(d *tensor.Dense) {
-			tensor.ReLU(d)
-		})
+		h = st.unary(tag+"_bias_relu", h, 1, []program.Unary{{Kind: program.UnaryReLU}})
 	}
 	return h
 }

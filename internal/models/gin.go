@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/program"
 	"repro/internal/tensor"
 )
 
@@ -24,25 +25,18 @@ func NewGIN() *GIN { return &GIN{Hidden: 64, Layers: 5, Eps: 0.1} }
 // Name implements Model.
 func (m *GIN) Name() string { return "GIN" }
 
-func (m *GIN) run(e *exec, h vt, classes int) vt {
+func (m *GIN) run(st stage, h vt, classes int) vt {
 	for l := 0; l < m.Layers; l++ {
 		out := m.Hidden
 		if l == m.Layers-1 {
 			out = classes
 		}
 		tag := fmt.Sprintf("GIN_L%d", l+1)
-		s := e.unweightedAggr(tag+"_Aggr", ops.GatherSum, h, h.cols)
-		// (1+eps)*h + s, then the MLP.
-		centre := h
-		h = e.elementwise(tag+"_eps_add", s, 1, func(d *tensor.Dense) {
-			if centre.data != nil {
-				for i := range d.Data {
-					d.Data[i] += (1 + m.Eps) * centre.data.Data[i]
-				}
-			}
-		})
-		h = e.gemm(tag+"_mlp", h, out)
-		h = e.elementwise(tag+"_relu", h, 0, func(d *tensor.Dense) { tensor.ReLU(d) })
+		s := unweightedAggr(st, tag+"_Aggr", ops.GatherSum, h, h.cols)
+		// s + (1+eps)*h, then the MLP.
+		h = st.addScaled(tag+"_eps_add", s, h, 1+m.Eps)
+		h = st.gemm(tag+"_mlp", h, out)
+		h = st.unary(tag+"_relu", h, 0, []program.Unary{{Kind: program.UnaryReLU}})
 	}
 	return h
 }

@@ -1,74 +1,86 @@
 package models
 
 import (
+	"math/rand"
+
 	"repro/internal/ops"
 	"repro/internal/tensor"
 )
 
-// Shared layer building blocks.
+// Shared layer building blocks, written against the stage interface so the
+// interpreter (exec) and the program recorder drive identical pipelines.
 
-// edgeScalar materialises a deterministic per-edge scalar tensor (edge
-// weights, attention coefficients) in functional mode.
-func (e *exec) edgeScalar() vt {
-	out := vt{kind: tensor.EdgeK, cols: 1}
-	if e.functional {
-		d := tensor.NewDense(e.g.NumEdges(), 1)
-		d.FillRandom(e.rng, 1)
-		// Keep weights positive so max-aggregations stay well-behaved.
-		for i := range d.Data {
-			if d.Data[i] < 0 {
-				d.Data[i] = -d.Data[i]
-			}
-			d.Data[i] += 0.1
+// fusedAggr runs a fused-aggregation operator through the stage. Stages
+// that do not fuse — engines like PyG, and the recorder (which defers the
+// fusion decision to program compile time) — decompose it into an explicit
+// message-creation kernel that materialises the edge messages, followed by a
+// pure aggregation: the extra traffic the paper's §2 calls "redundant
+// accesses".
+func fusedAggr(st stage, name string, edgeOp ops.EdgeOp, gatherOp ops.GatherOp, a, b vt, outCols int) vt {
+	if st.fused() {
+		op := ops.OpInfo{
+			EdgeOp: edgeOp, GatherOp: gatherOp,
+			AKind: a.kind, BKind: b.kind, CKind: tensor.DstV,
 		}
-		out.data = d
-	}
-	return out
-}
-
-// fusedAggr runs a fused-aggregation operator through the engine. Engines
-// that do not fuse (PyG) decompose it into an explicit message-creation
-// kernel that materialises the edge messages, followed by a pure
-// aggregation — the extra traffic the paper's §2 calls "redundant accesses".
-func (e *exec) fusedAggr(name string, edgeOp ops.EdgeOp, gatherOp ops.GatherOp, a, b vt, outCols int) vt {
-	op := ops.OpInfo{
-		EdgeOp: edgeOp, GatherOp: gatherOp,
-		AKind: a.kind, BKind: b.kind, CKind: tensor.DstV,
-	}
-	if e.eng.Fused() {
-		return e.graphOp(name, op, a, b, outCols)
+		return st.graphOp(name, op, a, b, outCols)
 	}
 	msg := ops.OpInfo{
 		EdgeOp: edgeOp, GatherOp: ops.GatherCopyRHS,
 		AKind: a.kind, BKind: b.kind, CKind: tensor.EdgeK,
 	}
-	edgeMsgs := e.graphOp(name+"_materialize", msg, a, b, outCols)
+	edgeMsgs := st.graphOp(name+"_materialize", msg, a, b, outCols)
 	aggr := ops.OpInfo{
 		EdgeOp: ops.CopyRHS, GatherOp: gatherOp,
 		AKind: tensor.Null, BKind: tensor.EdgeK, CKind: tensor.DstV,
 	}
-	return e.graphOp(name+"_scatter", aggr, vt{}, edgeMsgs, outCols)
+	return st.graphOp(name+"_scatter", aggr, vt{}, edgeMsgs, outCols)
 }
 
 // unweightedAggr is fusedAggr for copy-from-source operators (SageSum etc.),
 // where the A operand is the source feature and B is absent.
-func (e *exec) unweightedAggr(name string, gatherOp ops.GatherOp, h vt, outCols int) vt {
+func unweightedAggr(st stage, name string, gatherOp ops.GatherOp, h vt, outCols int) vt {
 	src := asKind(h, tensor.SrcV)
-	op := ops.OpInfo{
-		EdgeOp: ops.CopyLHS, GatherOp: gatherOp,
-		AKind: tensor.SrcV, BKind: tensor.Null, CKind: tensor.DstV,
-	}
-	if e.eng.Fused() {
-		return e.graphOp(name, op, src, vt{}, outCols)
+	if st.fused() {
+		op := ops.OpInfo{
+			EdgeOp: ops.CopyLHS, GatherOp: gatherOp,
+			AKind: tensor.SrcV, BKind: tensor.Null, CKind: tensor.DstV,
+		}
+		return st.graphOp(name, op, src, vt{}, outCols)
 	}
 	msg := ops.OpInfo{
 		EdgeOp: ops.CopyLHS, GatherOp: ops.GatherCopyRHS,
 		AKind: tensor.SrcV, BKind: tensor.Null, CKind: tensor.EdgeK,
 	}
-	edgeMsgs := e.graphOp(name+"_materialize", msg, src, vt{}, outCols)
+	edgeMsgs := st.graphOp(name+"_materialize", msg, src, vt{}, outCols)
 	aggr := ops.OpInfo{
 		EdgeOp: ops.CopyRHS, GatherOp: gatherOp,
 		AKind: tensor.Null, BKind: tensor.EdgeK, CKind: tensor.DstV,
 	}
-	return e.graphOp(name+"_scatter", aggr, vt{}, edgeMsgs, outCols)
+	return st.graphOp(name+"_scatter", aggr, vt{}, edgeMsgs, outCols)
+}
+
+// edgeScalar (stage method on exec) materialises a deterministic per-edge
+// scalar tensor (edge weights, attention coefficients) in functional mode.
+func (e *exec) edgeScalar() vt {
+	out := vt{kind: tensor.EdgeK, cols: 1}
+	if e.functional {
+		out.data = edgeScalarData(e.g.NumEdges(), e.rng)
+	}
+	return out
+}
+
+// edgeScalarData draws deterministic positive per-edge scalars; both the
+// interpreter and the recorder call it with the same rng state, so compiled
+// and interpreted runs see identical edge weights. Kept positive so
+// max-aggregations stay well-behaved.
+func edgeScalarData(numEdges int, rng *rand.Rand) *tensor.Dense {
+	d := tensor.NewDense(numEdges, 1)
+	d.FillRandom(rng, 1)
+	for i := range d.Data {
+		if d.Data[i] < 0 {
+			d.Data[i] = -d.Data[i]
+		}
+		d.Data[i] += 0.1
+	}
+	return d
 }

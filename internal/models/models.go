@@ -20,6 +20,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/program"
 	"repro/internal/schedule"
 	"repro/internal/tensor"
 )
@@ -119,11 +120,38 @@ func newExec(g *graph.Graph, eng Engine, functional bool, model string) *exec {
 	}
 }
 
-// vt is a virtual tensor: a shape plus, in functional mode, real data.
+// stage is the model-building vocabulary: every model's run method drives a
+// stage, and two implementations exist — exec (this file), which interprets
+// the pipeline op by op, and recorder (program.go), which records it as a
+// program.Program for whole-model compilation. Keeping one run method per
+// model guarantees the two paths see identical stage sequences, weights and
+// edge scalars.
+type stage interface {
+	// fused reports whether aggregations run as single fused kernels; the
+	// recorder always answers false (programs record the decomposed form and
+	// re-fuse at compile time when the engine supports it).
+	fused() bool
+	edgeScalar() vt
+	gemm(name string, t vt, n int) vt
+	// unary applies an elementwise chain in place; reads counts extra
+	// operand streams for the cost model.
+	unary(name string, t vt, reads int, chain []program.Unary) vt
+	// addScaled computes t + scale*other in place on t.
+	addScaled(name string, t, other vt, scale float32) vt
+	// headMerge reduces t's columns to their per-row mean (width 1).
+	headMerge(name string, t vt) vt
+	// concat joins columns [a | b]; charged as part of the following GEMM.
+	concat(name string, a, b vt) vt
+	graphOp(name string, op ops.OpInfo, a, b vt, outCols int) vt
+}
+
+// vt is a virtual tensor: a shape plus, in functional mode, real data, and,
+// when recording, the program value it names.
 type vt struct {
 	kind tensor.Kind // SrcV/DstV for vertex rows, EdgeK for edge rows
 	cols int
 	data *tensor.Dense
+	val  program.ValueID
 }
 
 func (e *exec) rows(kind tensor.Kind) int {
@@ -169,24 +197,74 @@ func (e *exec) gemm(name string, t vt, n int) vt {
 	return out
 }
 
-// elementwise charges a streaming op over t (relu, bias, exp, ...), applying
-// fn to the data in functional mode.
-func (e *exec) elementwise(name string, t vt, reads int, fn func(*tensor.Dense)) vt {
-	if e.err != nil {
-		return vt{}
-	}
-	rows := e.rows(t.kind)
-	cycles := gpu.ElementwiseCycles(e.dev, rows*t.cols, reads)
+// fused implements stage from the engine's fusion capability.
+func (e *exec) fused() bool { return e.eng.Fused() }
+
+// chargeElementwise accounts one streaming op over n elements with `reads`
+// extra operand streams (plus the backward twin in training mode).
+func (e *exec) chargeElementwise(name string, n, reads int) {
+	cycles := gpu.ElementwiseCycles(e.dev, n, reads)
 	e.report.PerOp = append(e.report.PerOp, OpCost{Name: name, Kind: "dense", Cycles: cycles})
 	e.report.Dense += cycles
 	if e.training {
 		e.report.PerOp = append(e.report.PerOp, OpCost{Name: name + "_bwd", Kind: "dense", Cycles: cycles})
 		e.report.Dense += cycles
 	}
-	if e.functional && fn != nil {
-		fn(t.data)
+}
+
+// unary charges a streaming elementwise chain over t (relu, bias+relu,
+// leaky-relu+exp, ...), applying it in place in functional mode.
+func (e *exec) unary(name string, t vt, reads int, chain []program.Unary) vt {
+	if e.err != nil {
+		return vt{}
+	}
+	e.chargeElementwise(name, e.rows(t.kind)*t.cols, reads)
+	if e.functional {
+		for _, u := range chain {
+			u.Apply(t.data)
+		}
 	}
 	return t
+}
+
+// addScaled charges and computes t += scale*other in place on t.
+func (e *exec) addScaled(name string, t, other vt, scale float32) vt {
+	if e.err != nil {
+		return vt{}
+	}
+	e.chargeElementwise(name, e.rows(t.kind)*t.cols, 1)
+	if e.functional && other.data != nil {
+		tensor.AddScaledInto(t.data, t.data, other.data, scale)
+	}
+	return t
+}
+
+// headMerge charges one read-reduce stream over t and produces its per-row
+// column mean as a width-1 tensor.
+func (e *exec) headMerge(name string, t vt) vt {
+	if e.err != nil {
+		return vt{}
+	}
+	e.chargeElementwise(name, e.rows(t.kind)*t.cols, 1)
+	out := vt{kind: t.kind, cols: 1}
+	if e.functional {
+		out.data = tensor.NewDense(e.rows(t.kind), 1)
+		tensor.RowMeanInto(out.data, t.data)
+	}
+	return out
+}
+
+// concat joins [a | b]; no cost is charged — the paper's models fold the
+// concatenation into the following GEMM's K dimension.
+func (e *exec) concat(name string, a, b vt) vt {
+	if e.err != nil {
+		return vt{}
+	}
+	out := vt{kind: a.kind, cols: a.cols + b.cols}
+	if e.functional {
+		out.data = tensor.Concat(a.data, b.data)
+	}
+	return out
 }
 
 // graphOp runs one graph operator through the engine's schedule.

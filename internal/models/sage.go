@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/program"
 	"repro/internal/tensor"
 )
 
@@ -39,21 +40,18 @@ func (m *Sage) Name() string {
 	}
 }
 
-func (m *Sage) run(e *exec, h vt, classes int) vt {
+func (m *Sage) run(st stage, h vt, classes int) vt {
 	for l := 0; l < m.Layers; l++ {
 		out := m.Hidden
 		if l == m.Layers-1 {
 			out = classes
 		}
 		tag := fmt.Sprintf("SageL%d", l+1)
-		s := e.unweightedAggr(tag+"_Aggr", m.Aggregator, h, h.cols)
+		s := unweightedAggr(st, tag+"_Aggr", m.Aggregator, h, h.cols)
 		// concat(h, s) @ W: charged as a single GEMM with K = 2 x cols.
-		cat := vt{kind: tensor.SrcV, cols: h.cols * 2}
-		if e.functional {
-			cat.data = tensor.Concat(h.data, s.data)
-		}
-		h = e.gemm(tag+"_w_concat", cat, out)
-		h = e.elementwise(tag+"_relu", h, 0, func(d *tensor.Dense) { tensor.ReLU(d) })
+		cat := st.concat(tag+"_concat", h, s)
+		h = st.gemm(tag+"_w_concat", cat, out)
+		h = st.unary(tag+"_relu", h, 0, []program.Unary{{Kind: program.UnaryReLU}})
 	}
 	return h
 }

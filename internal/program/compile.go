@@ -1,0 +1,246 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+// Compilation: bind a recorded Program to a concrete (graph, scheduler,
+// backend) triple. Three passes run once, here, instead of on every forward
+// call:
+//
+//  1. fusion (fuse.go) — if the scheduler fuses, materialise+scatter pairs
+//     merge into fused-aggregation operators;
+//  2. schedule assignment — every graph operator's schedule is resolved
+//     through the engine (tuner / predictor / fixed baseline) and lowered
+//     once to a backend CompiledKernel bound to its arena operands;
+//  3. buffer planning (buffers.go) — intermediates map onto arena slots.
+//
+// The resulting CompiledProgram.Run is a flat step loop over prebound
+// tensors: no scheduling, no validation, no allocation.
+
+// Scheduler decides graph-operator schedules at compile time. It is the
+// schedule-assignment subset of models.Engine, declared structurally here so
+// internal/models can pass its engines in without an import cycle.
+type Scheduler interface {
+	// Device is the simulated device schedules are chosen for.
+	Device() *gpu.Device
+	// ScheduleFor returns the schedule for one graph-operator task.
+	ScheduleFor(t schedule.Task) core.Schedule
+	// Fused reports whether message creation should fuse into aggregation.
+	Fused() bool
+}
+
+// ScheduledOp records one graph operator's compile-time schedule decision.
+type ScheduledOp struct {
+	Name     string
+	Op       ops.OpInfo
+	Schedule core.Schedule
+}
+
+// Stats summarises what compilation did.
+type Stats struct {
+	// GraphKernels is the number of graph-operator kernels the compiled
+	// program launches per Run (after fusion).
+	GraphKernels int
+	// FusedPairs is how many materialise+scatter pairs the fusion pass merged.
+	FusedPairs int
+	// RemovedNodes is how many nodes dead-code elimination dropped.
+	RemovedNodes int
+	// BufferSlots and PeakLive describe the buffer plan (equal by
+	// construction for the linear-scan allocator).
+	BufferSlots int
+	PeakLive    int
+	// ArenaFloats is the shared intermediate storage in float32 elements.
+	ArenaFloats int
+}
+
+// step is one executable operation of the compiled program, with all tensors
+// resolved to arena views or constants at compile time.
+type step struct {
+	op      NodeOp
+	x, y    *tensor.Dense
+	out     *tensor.Dense
+	chain   []Unary
+	scale   float32
+	inPlace bool
+	kern    core.CompiledKernel
+}
+
+// CompiledProgram is a model forward pass compiled for one graph, scheduler
+// and backend. Run may be called repeatedly; it is not safe for concurrent
+// use (all intermediates live in one shared arena).
+type CompiledProgram struct {
+	prog   *Program
+	g      *graph.Graph
+	plan   *BufferPlan
+	arena  *tensor.Arena
+	input  *tensor.Dense
+	output *tensor.Dense
+	steps  []step
+	stats  Stats
+	scheds []ScheduledOp
+}
+
+// Compile lowers p onto graph g with schedules chosen by s and kernels
+// executed by backend (nil = core.DefaultBackend()).
+func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) (*CompiledProgram, error) {
+	if backend == nil {
+		backend = core.DefaultBackend()
+	}
+	var stats Stats
+
+	// Pass 1: fusion (engines that fuse) + dead-code elimination.
+	work := p
+	if s.Fused() {
+		work, stats.FusedPairs = Fuse(work)
+	}
+	work, stats.RemovedNodes = EliminateDead(work)
+	stats.GraphKernels = work.GraphOpCount()
+
+	// Pass 3 runs before 2 in code: kernels lower against planned storage.
+	numV, numE := g.NumVertices(), g.NumEdges()
+	plan, err := PlanBuffers(work, numV, numE)
+	if err != nil {
+		return nil, err
+	}
+	stats.BufferSlots = len(plan.SlotFloats)
+	stats.PeakLive = plan.PeakLive
+	stats.ArenaFloats = plan.TotalFloats
+
+	// Carve one arena view per planned value; constants keep their own
+	// recorded storage.
+	arena := tensor.NewArena(plan.TotalFloats)
+	offsets := make([]int, len(plan.SlotFloats))
+	off := 0
+	for i, f := range plan.SlotFloats {
+		offsets[i] = off
+		off += f
+	}
+	views := make([]*tensor.Dense, len(work.Values))
+	for i := range work.Nodes {
+		n := &work.Nodes[i]
+		if n.Op == OpConst {
+			views[n.Out] = n.Const
+			continue
+		}
+		v := work.Values[n.Out]
+		views[n.Out] = arena.View(offsets[plan.Assign[n.Out]], work.RowsOf(n.Out, numV, numE), v.Cols)
+	}
+
+	cp := &CompiledProgram{
+		prog: work, g: g, plan: plan, arena: arena,
+		input:  views[work.Input],
+		output: views[work.Output],
+		steps:  make([]step, 0, len(work.Nodes)),
+		stats:  stats,
+	}
+
+	// Pass 2: schedule assignment + one-time kernel lowering, interleaved
+	// with step construction.
+	for i := range work.Nodes {
+		n := &work.Nodes[i]
+		st := step{op: n.Op, out: views[n.Out], scale: n.Scale, chain: n.Chain, inPlace: plan.InPlace[i]}
+		if n.X != NoValue {
+			st.x = views[n.X]
+		}
+		if n.Y != NoValue {
+			st.y = views[n.Y]
+		}
+		switch n.Op {
+		case OpInput, OpConst:
+			continue // no runtime work; input copy happens in Run
+		case OpGraph:
+			// The task carries the nameless op so schedule lookups hit the
+			// same tuner cache entries the interpreter populates.
+			task := schedule.Task{Graph: g, Op: n.GOp, Feat: work.Values[n.Out].Cols, Device: s.Device()}
+			if n.GOp.AKind != tensor.Null {
+				task.ACols = work.Values[n.X].Cols
+			}
+			if n.GOp.BKind != tensor.Null {
+				task.BCols = work.Values[n.Y].Cols
+			}
+			sched := s.ScheduleFor(task)
+			op := n.GOp
+			op.Name = n.Name
+			plan2, err := core.Compile(op, sched)
+			if err != nil {
+				return nil, fmt.Errorf("program: %s: %w", n.Name, err)
+			}
+			operands := core.Operands{
+				A: tensor.Typed{Kind: op.AKind, T: st.x},
+				B: tensor.Typed{Kind: op.BKind, T: st.y},
+				C: tensor.Typed{Kind: op.CKind, T: st.out},
+			}
+			kern, err := backend.Lower(plan2, g, operands)
+			if err != nil {
+				return nil, fmt.Errorf("program: %s: %w", n.Name, err)
+			}
+			st.kern = kern
+			cp.scheds = append(cp.scheds, ScheduledOp{Name: n.Name, Op: op, Schedule: sched})
+		}
+		cp.steps = append(cp.steps, st)
+	}
+	return cp, nil
+}
+
+// Run executes the compiled forward pass on input features x (|V| rows,
+// InCols columns). The returned tensor is the program's arena-resident
+// output view: it stays valid until the next Run, which overwrites it.
+// Clone it to keep results across calls.
+func (cp *CompiledProgram) Run(x *tensor.Dense) (*tensor.Dense, error) {
+	if x == nil || x.Rows != cp.input.Rows || x.Cols != cp.input.Cols {
+		got := "nil"
+		if x != nil {
+			got = fmt.Sprintf("%dx%d", x.Rows, x.Cols)
+		}
+		return nil, fmt.Errorf("program: input must be %dx%d, got %s", cp.input.Rows, cp.input.Cols, got)
+	}
+	copy(cp.input.Data, x.Data)
+	for i := range cp.steps {
+		st := &cp.steps[i]
+		switch st.op {
+		case OpGEMM:
+			tensor.MatMulInto(st.out, st.x, st.y)
+		case OpUnary:
+			if !st.inPlace {
+				copy(st.out.Data, st.x.Data)
+			}
+			for _, u := range st.chain {
+				u.Apply(st.out)
+			}
+		case OpAddScaled:
+			tensor.AddScaledInto(st.out, st.x, st.y, st.scale)
+		case OpHeadMerge:
+			tensor.RowMeanInto(st.out, st.x)
+		case OpConcat:
+			tensor.ConcatInto(st.out, st.x, st.y)
+		case OpGraph:
+			if err := st.kern.Run(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("program: unexpected step op %s", st.op)
+		}
+	}
+	return cp.output, nil
+}
+
+// Stats reports what compilation did.
+func (cp *CompiledProgram) Stats() Stats { return cp.stats }
+
+// Schedules lists the compile-time schedule decision of every graph
+// operator, in execution order.
+func (cp *CompiledProgram) Schedules() []ScheduledOp { return cp.scheds }
+
+// Program returns the compiled (post-fusion) program.
+func (cp *CompiledProgram) Program() *Program { return cp.prog }
+
+// BufferPlan exposes the liveness/slot assignment for inspection and tests.
+func (cp *CompiledProgram) BufferPlan() *BufferPlan { return cp.plan }

@@ -1,0 +1,174 @@
+package program
+
+import (
+	"strings"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// The fusion pass (paper §5.2): recorded programs always spell aggregations
+// as the decomposed two-kernel form — an explicit message-creation operator
+// that materialises |E| x F edge messages, followed by a pure scatter that
+// reduces them — because that form is the common denominator every engine
+// can run (PyG never fuses). Engines that do fuse get the single-kernel form
+// back here, at compile time, by pattern-matching materialise+scatter pairs
+// and merging them into one fused-aggregation operator. The merged operator
+// reads the original vertex/edge operands directly during the reduction, so
+// the |E| x F intermediate never exists — the "redundant accesses" of §2.
+
+// fuseCandidate reports whether node n materialises edge messages in the
+// canonical decomposed shape: a non-reducing gather writing an edge tensor.
+func fuseCandidate(n *Node) bool {
+	return n.Op == OpGraph &&
+		n.GOp.CKind == tensor.EdgeK &&
+		n.GOp.GatherOp == ops.GatherCopyRHS
+}
+
+// fuseScatter reports whether node n is the canonical pure scatter: copy the
+// edge tensor through and reduce per destination.
+func fuseScatter(n *Node) bool {
+	return n.Op == OpGraph &&
+		n.GOp.EdgeOp == ops.CopyRHS &&
+		n.GOp.GatherOp.IsReduction() &&
+		n.GOp.AKind == tensor.Null &&
+		n.GOp.BKind == tensor.EdgeK &&
+		n.GOp.CKind == tensor.DstV
+}
+
+// mergedName strips the decomposition suffixes so the fused operator carries
+// the stage name the interpreter would use ("GCN_L1_Aggr_materialize" +
+// "GCN_L1_Aggr_scatter" -> "GCN_L1_Aggr").
+func mergedName(mat, scat string) string {
+	if base := strings.TrimSuffix(mat, "_materialize"); base != mat && base == strings.TrimSuffix(scat, "_scatter") {
+		return base
+	}
+	return mat + "+" + scat
+}
+
+// Fuse merges every materialise+scatter pair whose intermediate edge tensor
+// has exactly one consumer into a single fused-aggregation graph operator.
+// It returns a new Program (sharing the value table — ValueIDs stay stable)
+// and the number of pairs fused. Programs without matching pairs come back
+// unchanged (same node slice contents, new Program header).
+func Fuse(p *Program) (*Program, int) {
+	uses := useCounts(p)
+	// scatterFor[v] = index of the unique scatter consuming value v, when v is
+	// produced by a fuse candidate and consumed exactly once.
+	fused := 0
+	consumed := make(map[int]bool) // scatter node indices folded away
+	replace := make(map[int]Node)  // materialise node index -> merged node
+
+	for i := range p.Nodes {
+		mat := &p.Nodes[i]
+		if !fuseCandidate(mat) || uses[mat.Out] != 1 || mat.Out == p.Output {
+			continue
+		}
+		// Find the single consumer; it must be a canonical scatter reading the
+		// messages as operand B.
+		for j := i + 1; j < len(p.Nodes); j++ {
+			scat := &p.Nodes[j]
+			if !readsValue(scat, mat.Out) {
+				continue
+			}
+			if !fuseScatter(scat) || scat.Y != mat.Out || consumed[j] {
+				break
+			}
+			merged := Node{
+				Op:   OpGraph,
+				Name: mergedName(mat.Name, scat.Name),
+				X:    mat.X,
+				Y:    mat.Y,
+				Out:  scat.Out,
+				GOp: ops.OpInfo{
+					EdgeOp:   mat.GOp.EdgeOp,
+					GatherOp: scat.GOp.GatherOp,
+					AKind:    mat.GOp.AKind,
+					BKind:    mat.GOp.BKind,
+					CKind:    tensor.DstV,
+				},
+			}
+			if merged.GOp.Validate() != nil {
+				break // not a legal fused form; keep the pair
+			}
+			replace[i] = merged
+			consumed[j] = true
+			fused++
+			break
+		}
+	}
+
+	out := &Program{
+		Model: p.Model, InCols: p.InCols, Classes: p.Classes,
+		Values: p.Values, Input: p.Input, Output: p.Output,
+	}
+	out.Nodes = make([]Node, 0, len(p.Nodes)-fused)
+	for i := range p.Nodes {
+		if consumed[i] {
+			continue
+		}
+		if m, ok := replace[i]; ok {
+			out.Nodes = append(out.Nodes, m)
+			continue
+		}
+		out.Nodes = append(out.Nodes, p.Nodes[i])
+	}
+	return out, fused
+}
+
+// EliminateDead removes nodes whose result is transitively unused (the
+// orphaned constants and stages fusion can leave behind). The input node is
+// always kept — Run binds caller data to it. Returns the pruned program and
+// the number of nodes removed.
+func EliminateDead(p *Program) (*Program, int) {
+	live := make([]bool, len(p.Values))
+	live[p.Output] = true
+	live[p.Input] = true
+	// Nodes are in topological order, so one reverse sweep settles liveness.
+	keep := make([]bool, len(p.Nodes))
+	for i := len(p.Nodes) - 1; i >= 0; i-- {
+		n := &p.Nodes[i]
+		if !live[n.Out] && n.Op != OpInput {
+			continue
+		}
+		keep[i] = true
+		if n.X != NoValue {
+			live[n.X] = true
+		}
+		if n.Y != NoValue {
+			live[n.Y] = true
+		}
+	}
+	removed := 0
+	out := &Program{
+		Model: p.Model, InCols: p.InCols, Classes: p.Classes,
+		Values: p.Values, Input: p.Input, Output: p.Output,
+	}
+	out.Nodes = make([]Node, 0, len(p.Nodes))
+	for i := range p.Nodes {
+		if !keep[i] {
+			removed++
+			continue
+		}
+		out.Nodes = append(out.Nodes, p.Nodes[i])
+	}
+	return out, removed
+}
+
+// useCounts tallies how many node operands read each value.
+func useCounts(p *Program) []int {
+	uses := make([]int, len(p.Values))
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		if n.X != NoValue {
+			uses[n.X]++
+		}
+		if n.Y != NoValue {
+			uses[n.Y]++
+		}
+	}
+	return uses
+}
+
+// readsValue reports whether node n reads v.
+func readsValue(n *Node, v ValueID) bool { return n.X == v || n.Y == v }

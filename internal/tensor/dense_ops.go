@@ -35,6 +35,74 @@ func MatMul(a, b *Dense) *Dense {
 	return out
 }
 
+// MatMulInto computes out = a @ b without allocating, for a: m×k, b: k×n,
+// out: m×n. out must not alias a or b. The inner loop mirrors MatMul exactly
+// (including the zero-skip) so both produce bit-identical results.
+func MatMulInto(out, a, b *Dense) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul output %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	out.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddScaledInto computes out = a + s*b element-wise without allocating.
+// out may alias a (each element is read before it is written).
+func AddScaledInto(out, a, b *Dense, s float32) {
+	if a.Rows != b.Rows || a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != a.Cols {
+		panic("tensor: add-scaled shape mismatch")
+	}
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + s*b.Data[i]
+	}
+}
+
+// ConcatInto writes the column-wise concatenation [a | b] into out without
+// allocating. out must not alias a or b.
+func ConcatInto(out, a, b *Dense) {
+	if a.Rows != b.Rows || out.Rows != a.Rows || out.Cols != a.Cols+b.Cols {
+		panic("tensor: concat shape mismatch")
+	}
+	for r := 0; r < a.Rows; r++ {
+		copy(out.Row(r)[:a.Cols], a.Row(r))
+		copy(out.Row(r)[a.Cols:], b.Row(r))
+	}
+}
+
+// RowMeanInto writes each row's mean of t into the n×1 tensor out without
+// allocating (sum first, then one multiply by 1/cols — the order GAT's
+// head-merge uses, so results match the interpreter bit for bit). out must
+// not alias t.
+func RowMeanInto(out, t *Dense) {
+	if out.Rows != t.Rows || out.Cols != 1 {
+		panic("tensor: row-mean output must be Rows x 1")
+	}
+	inv := 1 / float32(t.Cols)
+	for r := 0; r < t.Rows; r++ {
+		var s float32
+		for _, v := range t.Row(r) {
+			s += v
+		}
+		out.Data[r] = s * inv
+	}
+}
+
 // AddBias adds the length-Cols bias vector to every row of t in place.
 func AddBias(t *Dense, bias []float32) {
 	if len(bias) != t.Cols {
