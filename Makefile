@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-models race vet
+.PHONY: build test check bench bench-models race vet faults
 
 build:
 	$(GO) build ./...
@@ -12,14 +12,23 @@ vet:
 	$(GO) vet ./...
 
 # race runs the concurrency-sensitive packages (the parallel host backend
-# and its consumers, including the compiled-program runtime) under the race
+# and its consumers, including the compiled-program runtime, the hardening
+# layer's fault-injection points, and the graph loaders) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/...
+	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/... ./internal/faultinject/... ./internal/graph/...
+
+# faults runs the fault-injection suite under the race detector: injected
+# kernel panics, NaN pokes, slow chunks and lowering failures, each proven
+# to be caught by the corresponding guard (KernelError recovery, numeric
+# scan, deadlines, fallback ladder).
+faults:
+	$(GO) test -race ./internal/faultinject/...
+	$(GO) test -race -run 'Fault|Inject|Resilient|Cancel|Deadline|Numeric|KernelPanic|Revalidate' ./internal/core/... ./internal/program/... ./internal/models/...
 
 # check is the pre-commit gate: static analysis plus the race-enabled
-# tests of the backend-facing packages.
-check: vet race
+# tests of the backend-facing packages, including the fault suite.
+check: vet race faults
 
 # bench regenerates the reference-vs-parallel backend comparison on the
 # skewed (AR) and regular (PR) datasets.

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +29,8 @@ func main() {
 	datasets := flag.String("datasets", "", "comma-separated dataset codes to restrict to (e.g. CO,PR,AR)")
 	sample := flag.Int("sample", 0, "simulator sampled blocks per kernel (0 = default)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	backend := flag.String("backend", "", "host compute backend for functional passes: reference, parallel or sim (empty = parallel / $UGRAPHER_BACKEND)")
+	backend := flag.String("backend", "", "host compute backend for functional passes: reference, parallel, resilient or sim (empty = parallel / $UGRAPHER_BACKEND)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget, checked between experiments (0 = none); exceeding it exits with code 3")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ugrapher-bench [flags] <experiment|all|list>\n\nflags:\n")
 		flag.PrintDefaults()
@@ -39,6 +41,19 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+
+	// Exit codes: 1 = experiment error, 2 = usage (bad flags/environment),
+	// 3 = -timeout exceeded.
+	if err := core.ValidateEnvBackend(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	opts := bench.Options{Quick: *quick, SampleBlocks: *sample, Backend: *backend}
 	if _, err := opts.ComputeBackend(); err != nil {
@@ -65,6 +80,10 @@ func main() {
 		return
 	case "all":
 		for _, e := range bench.All() {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "ugrapher-bench: %v before %s\n", ctx.Err(), e.ID)
+				os.Exit(3)
+			}
 			if err := runOne(e, opts, *csvOut); err != nil {
 				fmt.Fprintf(os.Stderr, "ugrapher-bench: %s: %v\n", e.ID, err)
 				os.Exit(1)

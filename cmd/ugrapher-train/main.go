@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/gpu"
 	"repro/internal/ops"
@@ -31,15 +34,31 @@ func main() {
 	load := flag.String("load", "", "skip training; load a model from this file")
 	validate := flag.String("validate", "CO,PR,AR,DD", "datasets for the Fig. 12-style validation")
 	gpuName := flag.String("gpu", "V100", "device: V100 or A100")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget, checked at phase boundaries (0 = none); exceeding it exits with code 3")
 	flag.Parse()
 
-	if err := run(*graphs, *maxV, *out, *load, *validate, *gpuName); err != nil {
+	// Exit codes: 1 = execution error, 2 = usage (bad environment), 3 =
+	// -timeout exceeded.
+	if err := core.ValidateEnvBackend(); err != nil {
 		fmt.Fprintf(os.Stderr, "ugrapher-train: %v\n", err)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *graphs, *maxV, *out, *load, *validate, *gpuName); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-train: %v\n", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(graphs, maxV int, out, load, validate, gpuName string) error {
+func run(ctx context.Context, graphs, maxV int, out, load, validate, gpuName string) error {
 	dev := gpu.V100()
 	if gpuName == "A100" {
 		dev = gpu.A100()
@@ -78,6 +97,9 @@ func run(graphs, maxV int, out, load, validate, gpuName string) error {
 		fmt.Println()
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -99,6 +121,9 @@ func run(graphs, maxV int, out, load, validate, gpuName string) error {
 	fmt.Printf("\nvalidation vs grid search (GCN L1 aggregation, %s):\n", dev.Name)
 	fmt.Printf("%-8s %-14s %-14s %s\n", "dataset", "grid-best", "predicted", "pred/grid")
 	for _, code := range strings.Split(validate, ",") {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		g, _, err := datasets.Load(code)
 		if err != nil {
 			return err

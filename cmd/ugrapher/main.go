@@ -20,6 +20,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -51,22 +53,40 @@ func main() {
 	classes := flag.Int("classes", 16, "with -model: number of output classes")
 	runs := flag.Int("runs", 5, "with -model: steady-state repetitions to time")
 	noCompile := flag.Bool("no-compile", false, "with -model: skip program compilation and interpret op by op")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); exceeding it exits with code 3")
+	checkNumerics := flag.Bool("check-numerics", false, "scan every graph operator's output for NaN/Inf and fail naming the op")
 	flag.Parse()
 
+	// Exit codes: 1 = execution error, 2 = usage (bad flags or environment),
+	// 3 = -timeout exceeded.
+	if err := core.ValidateEnvBackend(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
+		os.Exit(2)
+	}
 	if *backend != "" {
 		if err := core.SetDefaultBackend(*backend); err != nil {
 			fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
 			os.Exit(2)
 		}
 	}
+	core.SetCheckNumerics(*checkNumerics)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	var err error
 	if *model != "" {
-		err = runModel(*dataset, *graphFile, *model, *feat, *classes, *gpuName, *runs, *noCompile)
+		err = runModel(ctx, *dataset, *graphFile, *model, *feat, *classes, *gpuName, *runs, *noCompile)
 	} else {
-		err = run(*dataset, *graphFile, *opName, *feat, *gpuName, *schedText, *tune, *top, *source)
+		err = run(ctx, *dataset, *graphFile, *opName, *feat, *gpuName, *schedText, *tune, *top, *source)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -75,7 +95,7 @@ func main() {
 // -> buffer-plan once, then repeated zero-allocation runs) or interpreted
 // (the op-by-op path, rebuilt every run), printing the one-off compile cost
 // and the steady-state per-run wall clock on separate lines.
-func runModel(dataset, graphFile, name string, feat, classes int, gpuName string, runs int, noCompile bool) error {
+func runModel(ctx context.Context, dataset, graphFile, name string, feat, classes int, gpuName string, runs int, noCompile bool) error {
 	g, err := loadGraph(dataset, graphFile)
 	if err != nil {
 		return err
@@ -102,12 +122,12 @@ func runModel(dataset, graphFile, name string, feat, classes int, gpuName string
 	if noCompile {
 		// Interpreter path: every run re-resolves schedules and re-lowers
 		// kernels through the stage executor.
-		if _, err := m.Forward(g, x, classes, eng); err != nil { // warm-up
+		if _, err := models.ForwardCtx(ctx, m, g, x, classes, eng); err != nil { // warm-up
 			return err
 		}
 		start := time.Now()
 		for i := 0; i < runs; i++ {
-			if _, err := m.Forward(g, x, classes, eng); err != nil {
+			if _, err := models.ForwardCtx(ctx, m, g, x, classes, eng); err != nil {
 				return err
 			}
 		}
@@ -125,12 +145,12 @@ func runModel(dataset, graphFile, name string, feat, classes int, gpuName string
 		return err
 	}
 	compileTime := time.Since(compileStart)
-	if _, err := cp.Run(x); err != nil { // warm-up
+	if _, err := cp.RunCtx(ctx, x); err != nil { // warm-up
 		return err
 	}
 	start := time.Now()
 	for i := 0; i < runs; i++ {
-		if _, err := cp.Run(x); err != nil {
+		if _, err := cp.RunCtx(ctx, x); err != nil {
 			return err
 		}
 	}
@@ -163,7 +183,7 @@ func loadGraph(dataset, graphFile string) (*graph.Graph, error) {
 	}
 }
 
-func run(dataset, graphFile, opName string, feat int, gpuName, schedText string, tune bool, top int, source bool) error {
+func run(ctx context.Context, dataset, graphFile, opName string, feat int, gpuName, schedText string, tune bool, top int, source bool) error {
 	g, err := loadGraph(dataset, graphFile)
 	if err != nil {
 		return err
@@ -201,7 +221,7 @@ func run(dataset, graphFile, opName string, feat int, gpuName, schedText string,
 			return err
 		}
 		report("run:", c)
-		if err := timeFunctional(g, entry.Info, feat, sched); err != nil {
+		if err := timeFunctional(ctx, g, entry.Info, feat, sched); err != nil {
 			return err
 		}
 		if source {
@@ -227,7 +247,7 @@ func run(dataset, graphFile, opName string, feat int, gpuName, schedText string,
 	worst := cands[len(cands)-1]
 	fmt.Printf("worst %-11s cycles=%.0f (%.1fx the best)\n",
 		worst.Schedule, worst.Metrics.Cycles, worst.Metrics.Cycles/cands[0].Metrics.Cycles)
-	if err := timeFunctional(g, entry.Info, feat, cands[0].Schedule); err != nil {
+	if err := timeFunctional(ctx, g, entry.Info, feat, cands[0].Schedule); err != nil {
 		return err
 	}
 	if source {
@@ -239,7 +259,7 @@ func run(dataset, graphFile, opName string, feat int, gpuName, schedText string,
 // timeFunctional executes the operator for real on the selected host
 // backend and reports measured wall-clock — explicitly distinct from the
 // simulated cycles above, which are the GPU performance model.
-func timeFunctional(g *graph.Graph, op ops.OpInfo, feat int, sched core.Schedule) error {
+func timeFunctional(ctx context.Context, g *graph.Graph, op ops.OpInfo, feat int, sched core.Schedule) error {
 	backend := core.DefaultBackend()
 	plan, err := core.Compile(op, sched)
 	if err != nil {
@@ -250,13 +270,13 @@ func timeFunctional(g *graph.Graph, op ops.OpInfo, feat int, sched core.Schedule
 	if err != nil {
 		return err
 	}
-	if err := kern.Run(); err != nil { // warm-up: page in operands, prime pools
+	if err := kern.RunCtx(ctx); err != nil { // warm-up: page in operands, prime pools
 		return err
 	}
 	const reps = 5
 	start := time.Now()
 	for i := 0; i < reps; i++ {
-		if err := kern.Run(); err != nil {
+		if err := kern.RunCtx(ctx); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -33,10 +34,23 @@ func Run(g *graph.Graph, op ops.OpInfo, o Operands, sched Schedule, dev *gpu.Dev
 	return RunWith(DefaultBackend(), g, op, o, sched, dev)
 }
 
+// RunCtx is Run with cancellation/deadline support.
+func RunCtx(ctx context.Context, g *graph.Graph, op ops.OpInfo, o Operands, sched Schedule, dev *gpu.Device) (Result, error) {
+	return RunWithCtx(ctx, DefaultBackend(), g, op, o, sched, dev)
+}
+
 // RunWith is Run with an explicit compute backend: the plan is lowered
 // once (validating operands once), executed on b, and simulated on dev for
 // the schedule-cost metrics.
 func RunWith(b ExecBackend, g *graph.Graph, op ops.OpInfo, o Operands, sched Schedule, dev *gpu.Device) (Result, error) {
+	return RunWithCtx(context.Background(), b, g, op, o, sched, dev)
+}
+
+// RunWithCtx is RunWith with cancellation: the compute pass honours ctx at
+// the backend's cancellation granularity (chunk claims on the parallel
+// backend). The simulation pass is not interruptible; it only runs after a
+// successful compute pass.
+func RunWithCtx(ctx context.Context, b ExecBackend, g *graph.Graph, op ops.OpInfo, o Operands, sched Schedule, dev *gpu.Device) (Result, error) {
 	p, err := Compile(op, sched)
 	if err != nil {
 		return Result{}, err
@@ -45,7 +59,7 @@ func RunWith(b ExecBackend, g *graph.Graph, op ops.OpInfo, o Operands, sched Sch
 	if err != nil {
 		return Result{}, err
 	}
-	if err := ck.Run(); err != nil {
+	if err := ck.RunCtx(ctx); err != nil {
 		return Result{}, err
 	}
 	k, err := p.KernelFor(g, o, dev)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"repro/internal/graph"
@@ -26,7 +28,16 @@ type CompiledKernel interface {
 	// Plan returns the plan this kernel was lowered from.
 	Plan() *Plan
 	// Run executes the kernel once, writing into the bound output tensor.
+	// A panic inside the kernel is recovered into a *KernelError; with the
+	// CheckNumerics guard on, a NaN/Inf output fails with a *NumericError.
 	Run() error
+	// RunCtx is Run with cancellation: the parallel backend's workers check
+	// ctx at chunk-claim granularity and return context.Canceled /
+	// context.DeadlineExceeded promptly; sequential backends check at run
+	// boundaries. After a cancelled run the output tensor holds partial
+	// data, but the kernel remains reusable — every Run re-initialises its
+	// output, so the next call produces a complete result.
+	RunCtx(ctx context.Context) error
 	// Counters reports cumulative execution statistics across Run calls.
 	Counters() Counters
 }
@@ -59,7 +70,7 @@ type ExecBackend interface {
 }
 
 // BackendNames lists the selectable backend names in presentation order.
-var BackendNames = []string{"parallel", "reference", "sim"}
+var BackendNames = []string{"parallel", "resilient", "reference", "sim"}
 
 // Backend resolves a backend by name. The empty string resolves to the
 // default backend (see DefaultBackend).
@@ -71,11 +82,28 @@ func Backend(name string) (ExecBackend, error) {
 		return ReferenceBackend(), nil
 	case "parallel":
 		return NewParallelBackend(0), nil
+	case "resilient":
+		return NewResilientBackend(nil, nil), nil
 	case "sim":
 		return NewSimBackend(nil), nil
 	default:
-		return nil, fmt.Errorf("core: unknown backend %q (want reference, parallel or sim)", name)
+		return nil, fmt.Errorf("core: unknown backend %q (valid backends: %s)",
+			name, strings.Join(BackendNames, ", "))
 	}
+}
+
+// ValidateEnvBackend checks the UGRAPHER_BACKEND environment variable
+// without instantiating the default backend, so CLIs can fail fast at
+// startup with the valid names instead of warning mid-run.
+func ValidateEnvBackend() error {
+	name := os.Getenv("UGRAPHER_BACKEND")
+	if name == "" {
+		return nil
+	}
+	if _, err := Backend(name); err != nil {
+		return fmt.Errorf("UGRAPHER_BACKEND: %w", err)
+	}
+	return nil
 }
 
 var (
@@ -125,9 +153,14 @@ func SetDefaultBackend(name string) error {
 // ExecuteOn is the convenience path compile-once callers use: lower p onto
 // backend b for (g, o) and run the kernel once.
 func (p *Plan) ExecuteOn(b ExecBackend, g *graph.Graph, o Operands) error {
+	return p.ExecuteOnCtx(context.Background(), b, g, o)
+}
+
+// ExecuteOnCtx is ExecuteOn with cancellation/deadline support.
+func (p *Plan) ExecuteOnCtx(ctx context.Context, b ExecBackend, g *graph.Graph, o Operands) error {
 	k, err := b.Lower(p, g, o)
 	if err != nil {
 		return err
 	}
-	return k.Run()
+	return k.RunCtx(ctx)
 }

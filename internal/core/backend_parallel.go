@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/ops"
 	"repro/internal/tensor"
@@ -21,6 +23,11 @@ import (
 // folds into the output. The inner loops come from kernels_host.go: one
 // specialized fused loop per (edge_op x gather_op x operand-kind), so no
 // per-element closure calls survive lowering.
+//
+// Hardening (DESIGN.md §7): workers honour context cancellation at
+// chunk-claim granularity, recover panics into typed *KernelError values
+// instead of killing the process, and carry the fault-injection hooks the
+// test harness uses to prove both properties.
 
 // ParallelBackend executes plans on a host worker pool. The zero worker
 // count resolves to UGRAPHER_WORKERS or runtime.NumCPU().
@@ -53,16 +60,28 @@ func (b *ParallelBackend) Workers() int { return b.workers }
 // Lower implements ExecBackend: validate once, resolve operand row
 // selectors, and pick the specialized inner loop.
 func (b *ParallelBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, error) {
+	if err := faultinject.ErrIf(faultinject.LowerFail); err != nil {
+		return nil, err
+	}
 	if err := p.validateOperands(g.NumVertices(), g.NumEdges(), o); err != nil {
 		return nil, err
 	}
-	return &parallelKernel{
+	row, err := lowerRowKernel(p.Op.EdgeOp, p.Op.GatherOp)
+	if err != nil {
+		return nil, err
+	}
+	k := &parallelKernel{
 		b: b, p: p, g: g, o: o,
 		feat: o.C.T.Cols,
 		selA: lowerRowSel(o.A),
 		selB: lowerRowSel(o.B),
-		row:  lowerRowKernel(p.Op.EdgeOp, p.Op.GatherOp),
-	}, nil
+		row:  row,
+	}
+	// Bind the range bodies once: passing a method value per Run would
+	// allocate a closure each call and break the zero-steady-state contract.
+	k.bodyMsg = k.messageRange
+	k.bodyVtx = k.vertexRange
+	return k, nil
 }
 
 type parallelKernel struct {
@@ -74,6 +93,11 @@ type parallelKernel struct {
 	selA rowSel
 	selB rowSel
 	row  fusedRow
+
+	// bodyMsg/bodyVtx are the chunk bodies bound at lowering time (see
+	// Lower for why they are not method values taken per Run).
+	bodyMsg func(lo, hi int32)
+	bodyVtx func(lo, hi int32)
 
 	// partials are the per-worker private output buffers of edge-parallel
 	// reductions, owned by the kernel and reused across Run calls so the
@@ -120,18 +144,39 @@ func (k *parallelKernel) Counters() Counters {
 const smallWork = 1 << 15
 
 // Run implements CompiledKernel.
-func (k *parallelKernel) Run() error {
+func (k *parallelKernel) Run() error { return k.RunCtx(context.Background()) }
+
+// RunCtx implements CompiledKernel. Any panic on the calling goroutine
+// (single-worker paths, lowered-loop bugs, injected faults) is recovered
+// here into a *KernelError; worker-goroutine panics are recovered at the
+// worker and surfaced through the same type.
+func (k *parallelKernel) RunCtx(ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newKernelError(k.p, k.b.Name(), r, captureStack())
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	workers := k.b.workers
 	if int64(k.g.NumEdges())*int64(k.feat) < smallWork {
 		workers = 1
 	}
+	var runErr error
 	switch {
 	case k.p.Op.CKind == tensor.EdgeK:
-		k.runMessageCreation(workers)
+		runErr = k.runMessageCreation(ctx, workers)
 	case k.p.Schedule.Strategy.VertexParallel():
-		k.runVertexParallel(workers)
+		runErr = k.runVertexParallel(ctx, workers)
 	default:
-		k.runEdgeParallel(workers)
+		runErr = k.runEdgeParallel(ctx, workers)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if err := finishRun(k.p, k.o.C.T); err != nil {
+		return err
 	}
 	k.runs++
 	return nil
@@ -151,25 +196,70 @@ func chunkSize(items, workers int) int {
 	return c
 }
 
-// forChunks runs body over [0, items) in dynamically-claimed chunks on
-// `workers` goroutines and returns the number of chunks processed.
-func forChunks(items, workers int, body func(lo, hi int32)) int64 {
+// runChunks runs body over [0, items) in dynamically-claimed chunks,
+// accumulating completed chunks into k.shards. Cancellation is checked at
+// every chunk claim; worker panics are recovered into a *KernelError. The
+// single-worker, no-deadline path is a single direct call so the steady
+// state stays allocation-free.
+func (k *parallelKernel) runChunks(ctx context.Context, items, workers int, body func(lo, hi int32)) error {
 	if items == 0 {
-		return 0
+		return nil
 	}
+	done := ctx.Done()
 	if workers <= 1 {
-		body(0, int32(items))
-		return 1
+		if done == nil {
+			faultinject.MaybeSleep(faultinject.SlowChunk)
+			faultinject.MaybePanic(faultinject.KernelPanic)
+			body(0, int32(items))
+			k.shards++
+			return nil
+		}
+		// A deadline is in play: chunk the walk so cancellation is honoured
+		// between chunks even without a worker pool.
+		chunk := chunkSize(items, 1)
+		for lo := 0; lo < items; lo += chunk {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			hi := lo + chunk
+			if hi > items {
+				hi = items
+			}
+			faultinject.MaybeSleep(faultinject.SlowChunk)
+			faultinject.MaybePanic(faultinject.KernelPanic)
+			body(int32(lo), int32(hi))
+			k.shards++
+		}
+		return nil
 	}
+
 	chunk := chunkSize(items, workers)
 	var cursor atomic.Int64
 	var shards atomic.Int64
+	var stop atomic.Bool
+	var pc panicCell
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			defer func() {
+				if r := recover(); r != nil {
+					pc.record(r)
+					stop.Store(true)
+				}
+			}()
+			for !stop.Load() {
+				if done != nil {
+					select {
+					case <-done:
+						stop.Store(true)
+						return
+					default:
+					}
+				}
 				lo := cursor.Add(int64(chunk)) - int64(chunk)
 				if lo >= int64(items) {
 					return
@@ -178,28 +268,25 @@ func forChunks(items, workers int, body func(lo, hi int32)) int64 {
 				if hi > int64(items) {
 					hi = int64(items)
 				}
+				faultinject.MaybeSleep(faultinject.SlowChunk)
+				faultinject.MaybePanic(faultinject.KernelPanic)
 				body(int32(lo), int32(hi))
 				shards.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
-	return shards.Load()
+	k.shards += shards.Load()
+	if r, stack := pc.get(); r != nil {
+		return newKernelError(k.p, k.b.Name(), r, stack)
+	}
+	return ctx.Err()
 }
 
 // runMessageCreation writes each edge's output row exactly once, so edges
-// shard freely regardless of the strategy's traversal order. The
-// single-worker case calls the range body directly: a closure handed to
-// forChunks escapes (the multi-worker branch gives it to goroutines) and
-// would cost one heap allocation per run, breaking the zero-steady-state
-// contract compiled programs rely on.
-func (k *parallelKernel) runMessageCreation(workers int) {
-	if workers <= 1 {
-		k.messageRange(0, int32(k.g.NumEdges()))
-		k.shards++
-		return
-	}
-	k.shards += forChunks(k.g.NumEdges(), workers, k.messageRange)
+// shard freely regardless of the strategy's traversal order.
+func (k *parallelKernel) runMessageCreation(ctx context.Context, workers int) error {
+	return k.runChunks(ctx, k.g.NumEdges(), workers, k.bodyMsg)
 }
 
 func (k *parallelKernel) messageRange(lo, hi int32) {
@@ -214,13 +301,8 @@ func (k *parallelKernel) messageRange(lo, hi int32) {
 // runVertexParallel mirrors the thread-vertex / warp-vertex kernels: one
 // owner per output row, register-style accumulation, no synchronization on
 // the output.
-func (k *parallelKernel) runVertexParallel(workers int) {
-	if workers <= 1 {
-		k.vertexRange(0, int32(k.g.NumVertices()))
-		k.shards++
-		return
-	}
-	k.shards += forChunks(k.g.NumVertices(), workers, k.vertexRange)
+func (k *parallelKernel) runVertexParallel(ctx context.Context, workers int) error {
+	return k.runChunks(ctx, k.g.NumVertices(), workers, k.bodyVtx)
 }
 
 func (k *parallelKernel) vertexRange(lo, hi int32) {
@@ -253,12 +335,16 @@ func (k *parallelKernel) vertexRange(lo, hi int32) {
 	}
 }
 
+// edgeBlock is how many edges a phase-1 reduction worker processes between
+// stop-flag / cancellation checks.
+const edgeBlock = 8192
+
 // runEdgeParallel mirrors the thread-edge / warp-edge kernels. Where the
 // GPU kernels use atomics on the shared destination rows, the host backend
 // gives each worker shard a private partial output buffer and folds the
 // shards into the output with a parallel merge — same associative
 // reduction, no contention.
-func (k *parallelKernel) runEdgeParallel(workers int) {
+func (k *parallelKernel) runEdgeParallel(ctx context.Context, workers int) error {
 	out := k.o.C.T
 	g := k.g
 	gop := k.p.Op.GatherOp
@@ -267,28 +353,49 @@ func (k *parallelKernel) runEdgeParallel(workers int) {
 	numV, numE := g.NumVertices(), g.NumEdges()
 	edgeSrc, edgeDst := g.EdgeSrcs(), g.EdgeDsts()
 	feat := k.feat
+	done := ctx.Done()
 
 	if workers <= 1 {
-		// Sequential shape: reduce straight into the output.
+		// Sequential shape: reduce straight into the output, in blocks so a
+		// deadline can interrupt the walk.
 		for i := range out.Data {
 			out.Data[i] = identity
 		}
-		for e := int32(0); e < int32(numE); e++ {
-			u, v := edgeSrc[e], edgeDst[e]
-			k.row(out.Row(int(v)), k.selA(e, u, v), k.selB(e, u, v))
+		for lo := 0; lo < numE; lo += edgeBlock {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+			faultinject.MaybeSleep(faultinject.SlowChunk)
+			faultinject.MaybePanic(faultinject.KernelPanic)
+			hi := lo + edgeBlock
+			if hi > numE {
+				hi = numE
+			}
+			for e := int32(lo); e < int32(hi); e++ {
+				u, v := edgeSrc[e], edgeDst[e]
+				k.row(out.Row(int(v)), k.selA(e, u, v), k.selB(e, u, v))
+			}
 		}
 		k.shards++
-		k.fixupVertexRows(1, mean)
-		return
+		return k.fixupVertexRows(ctx, 1, mean)
 	}
 
 	// Phase 1: each worker reduces a contiguous edge shard into its own
 	// partial buffer (identity-filled, owned by the kernel and reused across
 	// Run calls). Shards are a prefix of the worker range: with ceil division
 	// only trailing workers can come up empty, so exactly nw buffers are live.
+	// Cancellation: after a cancelled or panicked run the partials hold
+	// arbitrary data, but every run re-fills them with the identity before
+	// reducing, so nothing leaks into the next run of the same kernel.
 	per := (numE + workers - 1) / workers
 	nw := (numE + per - 1) / per
 	partials := k.partialBufs(nw, numV*feat)
+	var stop atomic.Bool
+	var pc panicCell
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		lo := w * per
@@ -299,22 +406,53 @@ func (k *parallelKernel) runEdgeParallel(workers int) {
 		wg.Add(1)
 		go func(lo, hi int32, buf []float32) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pc.record(r)
+					stop.Store(true)
+				}
+			}()
 			for i := range buf {
 				buf[i] = identity
 			}
-			for e := lo; e < hi; e++ {
-				u, v := edgeSrc[e], edgeDst[e]
-				k.row(buf[int(v)*feat:int(v)*feat+feat], k.selA(e, u, v), k.selB(e, u, v))
+			for blo := lo; blo < hi; blo += edgeBlock {
+				if stop.Load() {
+					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						stop.Store(true)
+						return
+					default:
+					}
+				}
+				faultinject.MaybeSleep(faultinject.SlowChunk)
+				faultinject.MaybePanic(faultinject.KernelPanic)
+				bhi := blo + edgeBlock
+				if bhi > hi {
+					bhi = hi
+				}
+				for e := blo; e < bhi; e++ {
+					u, v := edgeSrc[e], edgeDst[e]
+					k.row(buf[int(v)*feat:int(v)*feat+feat], k.selA(e, u, v), k.selB(e, u, v))
+				}
 			}
 		}(int32(lo), int32(hi), partials[w])
 		k.shards++
 	}
 	wg.Wait()
+	if r, stack := pc.get(); r != nil {
+		return newKernelError(k.p, k.b.Name(), r, stack)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	// Phase 2: parallel merge over vertex ranges — each output row is
 	// folded from the shard partials in shard order (deterministic for a
 	// fixed worker count), then mean/zero-degree fixups apply.
-	k.shards += forChunks(numV, workers, func(lo, hi int32) {
+	return k.runChunks(ctx, numV, workers, func(lo, hi int32) {
 		for v := lo; v < hi; v++ {
 			row := out.Row(int(v))
 			deg := g.InDegree(v)
@@ -342,13 +480,13 @@ func (k *parallelKernel) runEdgeParallel(workers int) {
 
 // fixupVertexRows applies the zero-degree and mean post-passes to the
 // output, in parallel over vertex ranges.
-func (k *parallelKernel) fixupVertexRows(workers int, mean bool) {
-	if workers <= 1 {
+func (k *parallelKernel) fixupVertexRows(ctx context.Context, workers int, mean bool) error {
+	if workers <= 1 && ctx.Done() == nil {
 		k.fixupRange(0, int32(k.g.NumVertices()), mean)
 		k.shards++
-		return
+		return nil
 	}
-	k.shards += forChunks(k.g.NumVertices(), workers, func(lo, hi int32) {
+	return k.runChunks(ctx, k.g.NumVertices(), workers, func(lo, hi int32) {
 		k.fixupRange(lo, hi, mean)
 	})
 }
@@ -388,6 +526,10 @@ func mergeRow(gop ops.GatherOp, dst, src []float32) {
 	case ops.GatherMin:
 		minCopy(dst, src)
 	default:
+		// Invariant, not input-reachable: runEdgeParallel is only entered
+		// for reducing gathers (message creation routes to runMessageCreation
+		// and plans are validated at Compile), so a non-reducing gather here
+		// is a programming error in the backend itself.
 		panic("core: merge of non-reducing gather")
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/tensor"
 )
@@ -22,6 +25,9 @@ func (refBackend) Name() string { return "reference" }
 // Lower implements ExecBackend: validation happens here, once, so repeated
 // Run calls skip it.
 func (refBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, error) {
+	if err := faultinject.ErrIf(faultinject.LowerFail); err != nil {
+		return nil, err
+	}
 	if err := p.validateOperands(g.NumVertices(), g.NumEdges(), o); err != nil {
 		return nil, err
 	}
@@ -46,7 +52,23 @@ type refKernel struct {
 func (k *refKernel) Plan() *Plan { return k.p }
 
 // Run implements CompiledKernel with the closure-per-element interpreter.
-func (k *refKernel) Run() error {
+func (k *refKernel) Run() error { return k.RunCtx(context.Background()) }
+
+// RunCtx implements CompiledKernel. The interpreter is sequential, so
+// cancellation is checked only at the run boundary; a panic inside the
+// interpreted loops is recovered into a *KernelError like the parallel
+// backend's.
+func (k *refKernel) RunCtx(ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newKernelError(k.p, "reference", r, captureStack())
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	faultinject.MaybePanic(faultinject.KernelPanic)
+	faultinject.MaybeSleep(faultinject.SlowChunk)
 	p, g, o := k.p, k.g, k.o
 	f := o.C.T.Cols
 	switch {
@@ -56,6 +78,9 @@ func (k *refKernel) Run() error {
 		p.executeVertexCentric(g, o, k.fa, k.fb, f, k.acc)
 	default:
 		p.executeEdgeCentric(g, o, k.fa, k.fb, f)
+	}
+	if err := finishRun(k.p, o.C.T); err != nil {
+		return err
 	}
 	k.runs++
 	return nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/gpu"
 	"repro/internal/graph"
 )
@@ -60,8 +62,13 @@ type simKernel struct {
 func (k *simKernel) Plan() *Plan { return k.compute.Plan() }
 
 // Run implements CompiledKernel: functional output plus a simulation pass.
-func (k *simKernel) Run() error {
-	if err := k.compute.Run(); err != nil {
+func (k *simKernel) Run() error { return k.RunCtx(context.Background()) }
+
+// RunCtx implements CompiledKernel: the functional pass delegates
+// cancellation and panic recovery to the wrapped compute kernel; the
+// simulation replay only happens after a successful compute pass.
+func (k *simKernel) RunCtx(ctx context.Context) error {
+	if err := k.compute.RunCtx(ctx); err != nil {
 		return err
 	}
 	k.metrics = gpu.Simulate(k.b.dev, k.gk, k.b.opts...)

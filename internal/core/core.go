@@ -81,7 +81,9 @@ func Compile(op ops.OpInfo, sched Schedule) (*Plan, error) {
 	return p, nil
 }
 
-// MustCompile is Compile for statically-known-good inputs; it panics on error.
+// MustCompile is Compile for statically-known-good inputs; it panics on
+// error. Only for op/schedule literals in tests and examples — code paths
+// fed by user input use Compile and handle the error.
 func MustCompile(op ops.OpInfo, sched Schedule) *Plan {
 	p, err := Compile(op, sched)
 	if err != nil {

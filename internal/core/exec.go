@@ -39,6 +39,9 @@ func makeFetcher(t tensor.Typed) fetcher {
 		}
 		return func(e, u, v int32, f int) float32 { return d.Data[int(e)*d.Cols+f] }
 	default:
+		// Invariant, not input-reachable: validateOperands rejects unknown
+		// operand kinds before any backend lowers a fetcher, so reaching this
+		// means a new tensor.Kind was added without a fetcher.
 		panic("core: bad operand kind")
 	}
 }

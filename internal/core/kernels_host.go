@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/ops"
 	"repro/internal/tensor"
 )
@@ -34,6 +36,10 @@ func lowerRowSel(t tensor.Typed) rowSel {
 		c := d.Cols
 		return func(e, u, v int32) []float32 { i := int(e) * c; return d.Data[i : i+c] }
 	default:
+		// Invariant, not input-reachable: validateOperands (run at every
+		// Lower before this) rejects any operand kind outside the enum, so an
+		// unknown kind here means a new tensor.Kind was added without a
+		// selector.
 		panic("core: bad operand kind")
 	}
 }
@@ -46,7 +52,17 @@ type fusedRow func(acc, a, b []float32)
 
 // lowerRowKernel selects the fused specialization for (edge_op, gather_op).
 // GatherMean lowers to the sum kernel; the mean division is a post-pass.
-func lowerRowKernel(eop ops.EdgeOp, gop ops.GatherOp) fusedRow {
+// An op combination with no host kernel is a lowering error (reachable from
+// user-constructed OpInfo values), not a panic.
+func lowerRowKernel(eop ops.EdgeOp, gop ops.GatherOp) (fusedRow, error) {
+	if k := rowKernelFor(eop, gop); k != nil {
+		return k, nil
+	}
+	return nil, fmt.Errorf("core: no host kernel for edge op %s with gather %s", eop, gop)
+}
+
+// rowKernelFor returns the specialization, or nil when none exists.
+func rowKernelFor(eop ops.EdgeOp, gop ops.GatherOp) fusedRow {
 	switch gop {
 	case ops.GatherSum, ops.GatherMean:
 		switch eop {
@@ -109,7 +125,7 @@ func lowerRowKernel(eop ops.EdgeOp, gop ops.GatherOp) fusedRow {
 			return storeDiv
 		}
 	}
-	panic("core: no host kernel for op combination")
+	return nil
 }
 
 // --- store class (message creation: acc = edge value) ---

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// The fallback ladder (DESIGN.md §7): a ResilientBackend wraps a fast
+// primary backend (normally the parallel host executor) and, when a kernel
+// fails with a *KernelError — a recovered panic, i.e. a backend bug rather
+// than a property of the inputs — logs the failure and retries the same
+// lowered plan on the sequential reference interpreter. The reference
+// backend is the semantic oracle the primary is tested against, so the
+// retried run produces the answer the primary should have. Only
+// *KernelError triggers the ladder: validation errors, *NumericError and
+// context cancellation would fail identically on any backend and pass
+// through untouched.
+
+// ResilientBackend wraps a primary ExecBackend with a per-kernel fallback
+// onto a secondary (reference by default).
+type ResilientBackend struct {
+	primary   ExecBackend
+	secondary ExecBackend
+	logw      io.Writer
+	fallbacks atomic.Int64
+}
+
+// NewResilientBackend wraps primary (nil = the parallel host backend) with
+// a fallback onto secondary (nil = the reference interpreter). Fallbacks
+// are logged to stderr; SetLogger redirects or silences them.
+func NewResilientBackend(primary, secondary ExecBackend) *ResilientBackend {
+	if primary == nil {
+		primary = NewParallelBackend(0)
+	}
+	if secondary == nil {
+		secondary = ReferenceBackend()
+	}
+	return &ResilientBackend{primary: primary, secondary: secondary, logw: os.Stderr}
+}
+
+// Name implements ExecBackend.
+func (b *ResilientBackend) Name() string { return "resilient" }
+
+// SetLogger redirects fallback logging (nil silences it).
+func (b *ResilientBackend) SetLogger(w io.Writer) {
+	if w == nil {
+		w = io.Discard
+	}
+	b.logw = w
+}
+
+// Fallbacks reports how many times the ladder fell back to the secondary
+// backend (lowering failures and run failures both count).
+func (b *ResilientBackend) Fallbacks() int64 { return b.fallbacks.Load() }
+
+func (b *ResilientBackend) logf(format string, args ...any) {
+	fmt.Fprintf(b.logw, "ugrapher: resilient: "+format+"\n", args...)
+}
+
+// Lower implements ExecBackend. If the primary cannot lower the plan at
+// all, the kernel is lowered on the secondary instead (counted as a
+// fallback); otherwise the returned kernel runs on the primary and ladders
+// down per Run on *KernelError.
+func (b *ResilientBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, error) {
+	pk, err := b.primary.Lower(p, g, o)
+	if err != nil {
+		b.fallbacks.Add(1)
+		b.logf("%s backend failed to lower %s: %v; lowering on %s",
+			b.primary.Name(), opLabel(p), err, b.secondary.Name())
+		sk, serr := b.secondary.Lower(p, g, o)
+		if serr != nil {
+			return nil, serr
+		}
+		return &resilientKernel{b: b, p: p, g: g, o: o, primary: sk, primaryIsFallback: true}, nil
+	}
+	return &resilientKernel{b: b, p: p, g: g, o: o, primary: pk}, nil
+}
+
+type resilientKernel struct {
+	b       *ResilientBackend
+	p       *Plan
+	g       *graph.Graph
+	o       Operands
+	primary CompiledKernel
+	// primaryIsFallback marks a kernel whose "primary" is already the
+	// secondary backend (the primary backend could not even lower the plan),
+	// so there is no further rung to fall to.
+	primaryIsFallback bool
+	// fallback is the lazily lowered secondary kernel, cached across runs.
+	fallback CompiledKernel
+}
+
+// Plan implements CompiledKernel.
+func (k *resilientKernel) Plan() *Plan { return k.primary.Plan() }
+
+// Counters implements CompiledKernel: the primary kernel's counters (the
+// fallback kernel's runs are folded into the backend-level Fallbacks
+// counter instead).
+func (k *resilientKernel) Counters() Counters { return k.primary.Counters() }
+
+// Run implements CompiledKernel.
+func (k *resilientKernel) Run() error { return k.RunCtx(context.Background()) }
+
+// RunCtx implements CompiledKernel: run the primary; on a *KernelError
+// (and only then — see the package comment for why other errors pass
+// through), log, count, and rerun the same plan/operands on the secondary.
+// The primary kernel is kept: a panic is assumed transient until proven
+// otherwise, so the next Run tries the fast path again.
+func (k *resilientKernel) RunCtx(ctx context.Context) error {
+	err := k.primary.RunCtx(ctx)
+	var ke *KernelError
+	if err == nil || k.primaryIsFallback || !errors.As(err, &ke) {
+		return err
+	}
+	k.b.fallbacks.Add(1)
+	k.b.logf("kernel %s [%s] failed on %s: %v; retrying on %s",
+		ke.Op, ke.Strategy, ke.Backend, ke.Err, k.b.secondary.Name())
+	if k.fallback == nil {
+		fk, lerr := k.b.secondary.Lower(k.p, k.g, k.o)
+		if lerr != nil {
+			return fmt.Errorf("resilient fallback lowering failed: %w (after %w)", lerr, err)
+		}
+		k.fallback = fk
+	}
+	return k.fallback.RunCtx(ctx)
+}

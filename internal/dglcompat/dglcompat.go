@@ -13,6 +13,7 @@
 package dglcompat
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -327,6 +328,13 @@ type CompiledUpdateAll struct {
 // identical arguments every layer of every epoch, and all the work besides
 // the kernel itself is loop-invariant.
 func (w *Graph) CompileUpdateAll(msg MessageFn, reduce ReduceFn) (*CompiledUpdateAll, error) {
+	// Recognise the pair against the §5.3 switching table up front: an
+	// unknown combination (e.g. a zero-valued MessageFn) must surface as an
+	// error here, not as a panic or a misassembled op downstream.
+	pair := msg.name + "." + reduce.name
+	if _, ok := ops.Lookup(pair); !ok {
+		return nil, fmt.Errorf("dglcompat: update_all pair %q is not in the operator registry", pair)
+	}
 	info, operands, feat, err := w.opInfoFor(msg, &reduce)
 	if err != nil {
 		return nil, err
@@ -357,6 +365,9 @@ func (w *Graph) CompileUpdateAll(msg MessageFn, reduce ReduceFn) (*CompiledUpdat
 
 // Run executes the compiled kernel, refreshing the output field in place.
 func (c *CompiledUpdateAll) Run() error { return c.kern.Run() }
+
+// RunCtx is Run with cancellation, honoured at the backend's granularity.
+func (c *CompiledUpdateAll) RunCtx(ctx context.Context) error { return c.kern.RunCtx(ctx) }
 
 // Output returns the destination tensor the kernel writes (aliased by the
 // graph's output field).

@@ -1,0 +1,48 @@
+package dglcompat
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestCompileUpdateAllRejectsUnknownPair: a message/reduce combination that
+// is not in the §5.3 switching table fails at CompileUpdateAll with the pair
+// named, instead of misassembling an operator downstream.
+func TestCompileUpdateAllRejectsUnknownPair(t *testing.T) {
+	w := testWrap(t, 31)
+	fillND(t, w, "h", 8, 32)
+
+	// A zero-valued MessageFn has no DGL name, so the pair resolves to
+	// ".sum", which is not registered.
+	red, err := Reduce("sum", "m", "rst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.CompileUpdateAll(MessageFn{}, red)
+	if err == nil {
+		t.Fatal("CompileUpdateAll accepted a zero-valued message function")
+	}
+	if !strings.Contains(err.Error(), "operator registry") {
+		t.Errorf("error = %v, want a registry-miss report", err)
+	}
+	if !strings.Contains(err.Error(), `".sum"`) {
+		t.Errorf("error = %v, want the pair named", err)
+	}
+
+	// A registered pair still compiles, runs, and honours cancellation.
+	msg := CopyU("h", "m")
+	c, err := w.CompileUpdateAll(msg, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.RunCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCtx(cancelled) = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package faultinject provides deterministic, seedable fault-injection
+// points for the execution layer. Production code calls the cheap hook
+// functions (MaybePanic, MaybeSleep, ErrIf) at well-defined sites — kernel
+// chunk bodies, lowering entry points, post-run output hand-off — and tests
+// arm the points to prove each hardening guard actually catches the fault it
+// claims to: a worker panic surfaces as a typed *core.KernelError, a poked
+// NaN trips the numeric scan, a slow chunk trips a context deadline, a
+// lowering failure exercises the fallback ladder.
+//
+// The package is dependency-free (standard library only), so every layer may
+// call into it without import cycles, and it needs no build tags: when no
+// point is armed, every hook is a single atomic load — cheap enough to keep
+// in release binaries and on zero-allocation hot paths.
+//
+// Firing is deterministic. A point armed with Spec{After: n, Every: m} fires
+// on its n-th eligible call and every m-th call after that; Spec{Rate, Seed}
+// instead hashes the call counter with a seeded splitmix64, so a "random"
+// 1% fault schedule replays identically for a fixed seed.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point identifies one injection site class.
+type Point uint8
+
+const (
+	// KernelPanic makes a kernel worker panic mid-chunk.
+	KernelPanic Point = iota
+	// NaNPoke poisons the first element of a kernel's output with NaN.
+	NaNPoke
+	// SlowChunk delays a worker chunk by the armed Spec's Delay.
+	SlowChunk
+	// LowerFail makes backend plan lowering return an injected error.
+	LowerFail
+
+	numPoints
+)
+
+var pointNames = [numPoints]string{"kernel-panic", "nan-poke", "slow-chunk", "lower-fail"}
+
+// String names the point.
+func (p Point) String() string {
+	if int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("Point(%d)", uint8(p))
+}
+
+// Spec configures when an armed point fires.
+//
+// Counter mode (Rate == 0): the point fires on its After-th call (1-based;
+// 0 means the first call) and, when Every > 0, on every Every-th call after
+// that. Every == 0 fires exactly once.
+//
+// Seeded mode (Rate > 0): each call fires independently with probability
+// Rate, decided by splitmix64(Seed, callIndex) — deterministic for a fixed
+// seed, so failures found by a randomized run replay exactly.
+type Spec struct {
+	After int
+	Every int
+	Rate  float64
+	Seed  uint64
+	// Delay is how long SlowChunk sleeps per firing (default 10ms).
+	Delay time.Duration
+}
+
+type pointState struct {
+	mu    sync.Mutex
+	spec  Spec
+	calls int64
+	fires int64
+}
+
+var (
+	// armedMask has bit p set while point p is armed; the disarmed fast path
+	// of every hook is one load of it.
+	armedMask atomic.Uint32
+	states    [numPoints]pointState
+)
+
+// ErrInjected is the sentinel all injected errors wrap.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Panic is the value injected panics carry, so tests (and recover sites)
+// can distinguish an injection from a genuine bug.
+type Panic struct {
+	Point Point
+	// Call is the 1-based call index that fired.
+	Call int64
+}
+
+// Error makes Panic usable as an error when recovered and wrapped.
+func (p Panic) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at call %d", p.Point, p.Call)
+}
+
+// Arm activates p with spec. Arming resets the point's call/fire counters.
+func Arm(p Point, spec Spec) {
+	if int(p) >= int(numPoints) {
+		return
+	}
+	st := &states[p]
+	st.mu.Lock()
+	st.spec = spec
+	st.calls = 0
+	st.fires = 0
+	st.mu.Unlock()
+	for {
+		old := armedMask.Load()
+		if armedMask.CompareAndSwap(old, old|uint32(1)<<p) {
+			return
+		}
+	}
+}
+
+// Disarm deactivates p. Counters are kept until the next Arm so tests can
+// still read Fires after disarming.
+func Disarm(p Point) {
+	if int(p) >= int(numPoints) {
+		return
+	}
+	for {
+		old := armedMask.Load()
+		if armedMask.CompareAndSwap(old, old&^(uint32(1)<<p)) {
+			return
+		}
+	}
+}
+
+// Reset disarms every point and clears all counters.
+func Reset() {
+	armedMask.Store(0)
+	for i := range states {
+		st := &states[i]
+		st.mu.Lock()
+		st.spec = Spec{}
+		st.calls = 0
+		st.fires = 0
+		st.mu.Unlock()
+	}
+}
+
+// Armed reports whether p is armed. One atomic load.
+func Armed(p Point) bool {
+	return armedMask.Load()&(uint32(1)<<p) != 0
+}
+
+// Enabled reports whether any point is armed.
+func Enabled() bool { return armedMask.Load() != 0 }
+
+// Fire counts one call of point p and reports whether the fault fires now.
+// Disarmed points return false after a single atomic load.
+func Fire(p Point) bool {
+	if !Armed(p) {
+		return false
+	}
+	fired, _ := states[p].fire()
+	return fired
+}
+
+func (st *pointState) fire() (bool, int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.calls++
+	call := st.calls
+	var hit bool
+	if st.spec.Rate > 0 {
+		// Map the hash to [0,1) with 53 bits of precision.
+		u := float64(splitmix64(st.spec.Seed, uint64(call))>>11) / (1 << 53)
+		hit = u < st.spec.Rate
+	} else {
+		after := int64(st.spec.After)
+		if after <= 0 {
+			after = 1
+		}
+		switch {
+		case call < after:
+		case call == after:
+			hit = true
+		case st.spec.Every > 0:
+			hit = (call-after)%int64(st.spec.Every) == 0
+		}
+	}
+	if hit {
+		st.fires++
+	}
+	return hit, call
+}
+
+// Calls reports how many times p's hook has been evaluated since arming.
+func Calls(p Point) int64 {
+	st := &states[p]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.calls
+}
+
+// Fires reports how many times p actually fired since arming.
+func Fires(p Point) int64 {
+	st := &states[p]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fires
+}
+
+// MaybePanic fires p and, if it hits, panics with a Panic value.
+func MaybePanic(p Point) {
+	if !Armed(p) {
+		return
+	}
+	if fired, call := states[p].fire(); fired {
+		panic(Panic{Point: p, Call: call})
+	}
+}
+
+// MaybeSleep fires p and, if it hits, sleeps the armed Delay (default 10ms).
+func MaybeSleep(p Point) {
+	if !Armed(p) {
+		return
+	}
+	st := &states[p]
+	if fired, _ := st.fire(); fired {
+		st.mu.Lock()
+		d := st.spec.Delay
+		st.mu.Unlock()
+		if d <= 0 {
+			d = 10 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
+// ErrIf fires p and, if it hits, returns an error wrapping ErrInjected;
+// otherwise nil.
+func ErrIf(p Point) error {
+	if !Armed(p) {
+		return nil
+	}
+	if fired, call := states[p].fire(); fired {
+		return fmt.Errorf("%w: %s at call %d", ErrInjected, p, call)
+	}
+	return nil
+}
+
+// splitmix64 is the standard 64-bit mix, keyed by seed and counter.
+func splitmix64(seed, x uint64) uint64 {
+	z := seed + x*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

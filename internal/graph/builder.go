@@ -56,9 +56,41 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
-// with '#' or '%' are comments.
+// Limits bounds what ReadEdgeList will accept from an untrusted edge-list
+// file. A malformed or hostile header/body must not be able to drive huge
+// allocations or build a graph that later panics mid-kernel.
+type Limits struct {
+	// MaxVertices caps the declared vertex count (0 = DefaultLimits').
+	MaxVertices int
+	// MaxEdges caps the number of edge lines (0 = DefaultLimits').
+	MaxEdges int
+}
+
+// DefaultLimits are the bounds ReadEdgeList applies when the caller passes
+// none: generous for real datasets (the largest in datasets/ is ~1.6M
+// edges) while keeping a hostile header from allocating tens of GiB.
+var DefaultLimits = Limits{
+	MaxVertices: 1 << 28, // 268M vertices
+	MaxEdges:    1 << 30, // 1B edges
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList under
+// DefaultLimits. Lines starting with '#' or '%' are comments.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListLimits(r, Limits{})
+}
+
+// ReadEdgeListLimits is ReadEdgeList with caller-chosen bounds (zero fields
+// fall back to DefaultLimits). All parse errors carry the 1-based line
+// number; negative ids, counts beyond the limits, and values overflowing
+// int32 are rejected here rather than surfacing later as kernel panics.
+func ReadEdgeListLimits(r io.Reader, lim Limits) (*Graph, error) {
+	if lim.MaxVertices <= 0 {
+		lim.MaxVertices = DefaultLimits.MaxVertices
+	}
+	if lim.MaxEdges <= 0 {
+		lim.MaxEdges = DefaultLimits.MaxEdges
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var header bool
@@ -85,10 +117,34 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		if !header {
 			header = true
+			if a < 0 || b < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative count in header (%d %d)", lineNo, a, b)
+			}
+			if a > lim.MaxVertices {
+				return nil, fmt.Errorf("graph: line %d: %d vertices exceeds limit %d", lineNo, a, lim.MaxVertices)
+			}
+			if b > lim.MaxEdges {
+				return nil, fmt.Errorf("graph: line %d: %d edges exceeds limit %d", lineNo, b, lim.MaxEdges)
+			}
 			n = a
-			src = make([]int32, 0, b)
-			dst = make([]int32, 0, b)
+			// Preallocation trusts the declared edge count only up to a modest
+			// bound; a header lying upward costs re-growth, not memory.
+			pre := b
+			if pre > 1<<20 {
+				pre = 1 << 20
+			}
+			src = make([]int32, 0, pre)
+			dst = make([]int32, 0, pre)
 			continue
+		}
+		if a < 0 || b < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id (%d %d)", lineNo, a, b)
+		}
+		if a >= n || b >= n {
+			return nil, fmt.Errorf("graph: line %d: vertex id out of range (%d %d, have %d vertices)", lineNo, a, b, n)
+		}
+		if len(src) >= lim.MaxEdges {
+			return nil, fmt.Errorf("graph: line %d: more than %d edges", lineNo, lim.MaxEdges)
 		}
 		src = append(src, int32(a))
 		dst = append(dst, int32(b))

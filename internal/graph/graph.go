@@ -249,6 +249,28 @@ func (g *Graph) Validate() error {
 	if g.inPtr[n] != m || g.outPtr[n] != m {
 		return errors.New("graph: pointer arrays do not cover all edges")
 	}
+	// Monotonicity must hold before the per-vertex walks below: InEdges
+	// slices inSrc[inPtr[v]:inPtr[v+1]] and would panic on a decreasing or
+	// out-of-range pointer pair.
+	if g.inPtr[0] != 0 || g.outPtr[0] != 0 {
+		return errors.New("graph: pointer arrays do not start at 0")
+	}
+	for v := int32(0); v < n; v++ {
+		if g.inPtr[v+1] < g.inPtr[v] {
+			return fmt.Errorf("graph: in-CSR pointer decreases at vertex %d", v)
+		}
+		if g.outPtr[v+1] < g.outPtr[v] {
+			return fmt.Errorf("graph: out-CSR pointer decreases at vertex %d", v)
+		}
+	}
+	if int32(len(g.edgeSrc)) != m || int32(len(g.edgeDst)) != m {
+		return errors.New("graph: COO array length mismatch")
+	}
+	for e := int32(0); e < m; e++ {
+		if s, d := g.edgeSrc[e], g.edgeDst[e]; s < 0 || s >= n || d < 0 || d >= n {
+			return fmt.Errorf("graph: edge %d endpoint out of range (%d->%d)", e, s, d)
+		}
+	}
 	seen := make([]bool, m)
 	for v := int32(0); v < n; v++ {
 		srcs, ids := g.InEdges(v)

@@ -1,0 +1,73 @@
+package models
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/tensor"
+)
+
+// Hardening tests for the model layer: context-aware forward passes and
+// training epochs.
+
+func TestForwardCtxMatchesForward(t *testing.T) {
+	g := smallGraph(t, 21)
+	eng := fixedTestEngine{dev: gpu.V100(), sched: core.DefaultSchedule, fused: true}
+	x := tensor.NewDense(g.NumVertices(), 16)
+	x.FillRandom(rand.New(rand.NewSource(4)), 1)
+	for _, m := range All() {
+		want, err := m.Forward(g, x, 5, eng)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		got, err := ForwardCtx(context.Background(), m, g, x, 5, eng)
+		if err != nil {
+			t.Fatalf("%s: ForwardCtx: %v", m.Name(), err)
+		}
+		if !got.AllClose(want, 1e-4, 1e-4) {
+			t.Errorf("%s: ForwardCtx differs from Forward (maxdiff %v)", m.Name(), got.MaxDiff(want))
+		}
+	}
+}
+
+func TestForwardCtxCancelled(t *testing.T) {
+	g := smallGraph(t, 22)
+	eng := fixedTestEngine{dev: gpu.V100(), sched: core.DefaultSchedule, fused: true}
+	x := tensor.NewDense(g.NumVertices(), 16)
+	x.FillRandom(rand.New(rand.NewSource(5)), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ForwardCtx(ctx, NewGCN(), g, x, 5, eng)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForwardCtx(cancelled) = %v, want context.Canceled", err)
+	}
+}
+
+func TestEpochCtxCancelled(t *testing.T) {
+	g := smallGraph(t, 23)
+	eng := fixedTestEngine{dev: gpu.V100(), sched: core.DefaultSchedule, fused: true}
+	tr, err := NewTrainer(NewGCN(), g, 16, 5, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewDense(g.NumVertices(), 16)
+	x.FillRandom(rand.New(rand.NewSource(6)), 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.EpochCtx(ctx, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EpochCtx(cancelled) = %v, want context.Canceled", err)
+	}
+	// The trainer survives a cancelled epoch: the next epoch runs normally.
+	out, err := tr.Epoch(x)
+	if err != nil {
+		t.Fatalf("epoch after cancellation: %v", err)
+	}
+	if out.Rows != g.NumVertices() || out.Cols != 5 {
+		t.Errorf("epoch output shape %dx%d", out.Rows, out.Cols)
+	}
+}

@@ -13,6 +13,7 @@
 package models
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -103,6 +104,7 @@ type exec struct {
 	eng        Engine
 	dev        *gpu.Device
 	backend    core.ExecBackend
+	ctx        context.Context
 	functional bool
 	training   bool
 	reversed   *graph.Graph
@@ -114,6 +116,7 @@ type exec struct {
 func newExec(g *graph.Graph, eng Engine, functional bool, model string) *exec {
 	return &exec{
 		g: g, eng: eng, dev: eng.Device(), backend: computeBackend(eng),
+		ctx:        context.Background(),
 		functional: functional,
 		rng:        rand.New(rand.NewSource(1234)),
 		report:     CostReport{Model: model, Engine: eng.Name()},
@@ -316,7 +319,7 @@ func (e *exec) graphOp(name string, op ops.OpInfo, a, b vt, outCols int) vt {
 			e.err = err
 			return vt{}
 		}
-		if err := kern.Run(); err != nil {
+		if err := kern.RunCtx(e.ctx); err != nil {
 			e.err = err
 			return vt{}
 		}
@@ -346,6 +349,27 @@ func All() []Model {
 		NewGCN(), NewGIN(), NewGAT(),
 		NewSage(ops.GatherSum), NewSage(ops.GatherMax), NewSage(ops.GatherMean),
 	}
+}
+
+// ForwardCtx is Model.Forward with cancellation: ctx is checked by every
+// graph kernel at its backend's granularity, so a deadline interrupts a
+// forward pass mid-model. Models that do not expose their stage pipeline
+// fall back to an uncancellable Forward.
+func ForwardCtx(ctx context.Context, m Model, g *graph.Graph, x *tensor.Dense, classes int, eng Engine) (*tensor.Dense, error) {
+	type runner interface {
+		run(st stage, h vt, classes int) vt
+	}
+	rm, ok := m.(runner)
+	if !ok {
+		return m.Forward(g, x, classes, eng)
+	}
+	e := newExec(g, eng, true, m.Name())
+	e.ctx = ctx
+	h := rm.run(e, e.input(x, x.Cols), classes)
+	if _, err := e.finish(); err != nil {
+		return nil, err
+	}
+	return h.data, nil
 }
 
 // ByName resolves a model by its benchmark name ("GCN", "SSum", ...).

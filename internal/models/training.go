@@ -1,6 +1,8 @@
 package models
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/graph"
@@ -138,7 +140,14 @@ func NewTrainer(m Model, g *graph.Graph, inFeat, classes int, eng Engine) (*Trai
 // Epoch. (Backward execution is cost-modelled, not computed — see
 // TrainingCost; the forward pass is the part every epoch repeats.)
 func (t *Trainer) Epoch(x *tensor.Dense) (*tensor.Dense, error) {
-	out, err := t.compiled.Run(x)
+	return t.EpochCtx(context.Background(), x)
+}
+
+// EpochCtx is Epoch with cancellation: a fired deadline interrupts the
+// forward pass between steps and inside graph kernels. The trainer stays
+// usable after a cancelled epoch (the next run overwrites the arena).
+func (t *Trainer) EpochCtx(ctx context.Context, x *tensor.Dense) (*tensor.Dense, error) {
+	out, err := t.compiled.RunCtx(ctx, x)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package program
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -65,6 +66,7 @@ type Stats struct {
 // resolved to arena views or constants at compile time.
 type step struct {
 	op      NodeOp
+	name    string
 	x, y    *tensor.Dense
 	out     *tensor.Dense
 	chain   []Unary
@@ -146,7 +148,7 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 	// with step construction.
 	for i := range work.Nodes {
 		n := &work.Nodes[i]
-		st := step{op: n.Op, out: views[n.Out], scale: n.Scale, chain: n.Chain, inPlace: plan.InPlace[i]}
+		st := step{op: n.Op, name: n.Name, out: views[n.Out], scale: n.Scale, chain: n.Chain, inPlace: plan.InPlace[i]}
 		if n.X != NoValue {
 			st.x = views[n.X]
 		}
@@ -195,6 +197,35 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 // output view: it stays valid until the next Run, which overwrites it.
 // Clone it to keep results across calls.
 func (cp *CompiledProgram) Run(x *tensor.Dense) (*tensor.Dense, error) {
+	return cp.RunCtx(context.Background(), x)
+}
+
+// revalidate re-checks the step tensors' shape/storage consistency at Run
+// time. The views were correct at Compile time, but they alias one shared
+// arena: code holding the returned output (or Input/Output accessors) could
+// have reshaped a view in place, and the step loop below indexes raw Data
+// by Rows*Cols. Allocation-free.
+func (cp *CompiledProgram) revalidate() error {
+	for i := range cp.steps {
+		st := &cp.steps[i]
+		for _, d := range [...]*tensor.Dense{st.x, st.y, st.out} {
+			if d == nil {
+				continue
+			}
+			if d.Rows < 0 || d.Cols < 0 || len(d.Data) != d.Rows*d.Cols {
+				return fmt.Errorf("program: step %d (%s %s): tensor shape %dx%d inconsistent with storage length %d",
+					i, st.op, st.name, d.Rows, d.Cols, len(d.Data))
+			}
+		}
+	}
+	return nil
+}
+
+// RunCtx is Run with cancellation: ctx is checked between steps and passed
+// through to graph kernels, which honour it at their backend's granularity.
+// After a cancelled run the arena holds partial intermediates; the next Run
+// overwrites them, so the program remains usable.
+func (cp *CompiledProgram) RunCtx(ctx context.Context, x *tensor.Dense) (*tensor.Dense, error) {
 	if x == nil || x.Rows != cp.input.Rows || x.Cols != cp.input.Cols {
 		got := "nil"
 		if x != nil {
@@ -202,8 +233,19 @@ func (cp *CompiledProgram) Run(x *tensor.Dense) (*tensor.Dense, error) {
 		}
 		return nil, fmt.Errorf("program: input must be %dx%d, got %s", cp.input.Rows, cp.input.Cols, got)
 	}
+	if err := cp.revalidate(); err != nil {
+		return nil, err
+	}
+	done := ctx.Done()
 	copy(cp.input.Data, x.Data)
 	for i := range cp.steps {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		st := &cp.steps[i]
 		switch st.op {
 		case OpGEMM:
@@ -222,8 +264,8 @@ func (cp *CompiledProgram) Run(x *tensor.Dense) (*tensor.Dense, error) {
 		case OpConcat:
 			tensor.ConcatInto(st.out, st.x, st.y)
 		case OpGraph:
-			if err := st.kern.Run(); err != nil {
-				return nil, err
+			if err := st.kern.RunCtx(ctx); err != nil {
+				return nil, fmt.Errorf("program: %s: %w", st.name, err)
 			}
 		default:
 			return nil, fmt.Errorf("program: unexpected step op %s", st.op)

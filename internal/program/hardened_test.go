@@ -1,0 +1,98 @@
+package program
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/tensor"
+)
+
+// Hardening tests for the compiled-program runtime: cancellation between
+// steps, Run-time operand revalidation, and kernel-fault propagation with
+// the failing step's name attached.
+
+func TestRunCtxCancelledBetweenSteps(t *testing.T) {
+	g := testGraph(t, 6, 60, 300)
+	p, _, _ := toyProgram(t, g, 4, 2)
+	cp, err := Compile(p, g, stubScheduler{sched: core.DefaultSchedule, fuse: true}, core.ReferenceBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewDense(g.NumVertices(), 4)
+	x.FillRandom(rand.New(rand.NewSource(1)), 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cp.RunCtx(ctx, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx(cancelled) = %v, want context.Canceled", err)
+	}
+
+	// After a cancelled run the program stays usable: arena intermediates
+	// are overwritten by the next (uncancelled) run.
+	out, err := cp.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := out.Clone()
+	if out2, err := cp.Run(x); err != nil || !out2.Equal(want) {
+		t.Fatalf("run after cancellation not reproducible: %v", err)
+	}
+}
+
+func TestRevalidateCatchesReshapedView(t *testing.T) {
+	g := testGraph(t, 7, 40, 200)
+	p, _, _ := toyProgram(t, g, 4, 2)
+	cp, err := Compile(p, g, stubScheduler{sched: core.DefaultSchedule, fuse: true}, core.ReferenceBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewDense(g.NumVertices(), 4)
+	if _, err := cp.Run(x); err != nil {
+		t.Fatal(err)
+	}
+
+	// A caller holding the output view reshapes it in place — the step loop
+	// indexes raw Data by Rows*Cols, so the next Run must refuse instead of
+	// reading out of bounds.
+	cp.output.Rows = cp.output.Rows * 2
+	_, err = cp.Run(x)
+	if err == nil {
+		t.Fatal("Run accepted a reshaped arena view")
+	}
+	if !strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("error = %v, want a shape/storage inconsistency report", err)
+	}
+	// Restoring the shape restores the program.
+	cp.output.Rows = cp.output.Rows / 2
+	if _, err := cp.Run(x); err != nil {
+		t.Fatalf("restored program still failing: %v", err)
+	}
+}
+
+func TestRunCtxNamesFailingKernelStep(t *testing.T) {
+	defer faultinject.Reset()
+	g := testGraph(t, 8, 50, 250)
+	p, _, _ := toyProgram(t, g, 4, 2)
+	cp, err := Compile(p, g, stubScheduler{sched: core.DefaultSchedule, fuse: true}, core.ReferenceBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewDense(g.NumVertices(), 4)
+
+	faultinject.Arm(faultinject.KernelPanic, faultinject.Spec{After: 1})
+	_, err = cp.Run(x)
+	var ke *core.KernelError
+	if !errors.As(err, &ke) {
+		t.Fatalf("Run with injected kernel panic = %v (%T), want wrapped *core.KernelError", err, err)
+	}
+	// The program wrapper names the step so one bad kernel is locatable in
+	// a multi-layer model.
+	if !strings.Contains(err.Error(), "program: ") {
+		t.Errorf("error %q does not carry the program step prefix", err)
+	}
+}

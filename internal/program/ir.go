@@ -121,6 +121,9 @@ func (u Unary) Apply(d *tensor.Dense) {
 	case UnaryExp:
 		tensor.Exp(d)
 	default:
+		// Invariant, not input-reachable: UnaryKind values are produced only
+		// by the model recorders in internal/models, never parsed from user
+		// input, so an unknown kind is a recorder bug.
 		panic(fmt.Sprintf("program: invalid unary kind %d", u.Kind))
 	}
 }

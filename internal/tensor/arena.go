@@ -12,7 +12,9 @@ type Arena struct {
 	buf []float32
 }
 
-// NewArena allocates a zeroed arena of n floats.
+// NewArena allocates a zeroed arena of n floats. The size comes from the
+// buffer planner's slot arithmetic, never from user input, so a negative
+// value is an invariant panic (a planner bug).
 func NewArena(n int) *Arena {
 	if n < 0 {
 		panic(fmt.Sprintf("tensor: negative arena size %d", n))
@@ -25,7 +27,9 @@ func (a *Arena) Floats() int { return len(a.buf) }
 
 // View returns a rows×cols Dense aliasing the arena at the given float
 // offset. Views may overlap; the caller (the buffer planner) is responsible
-// for ensuring overlapping views are never simultaneously live.
+// for ensuring overlapping views are never simultaneously live. An
+// out-of-bounds view is an invariant panic: offsets are computed by the
+// planner from the same sizes it allocated the arena with.
 func (a *Arena) View(offset, rows, cols int) *Dense {
 	need := rows * cols
 	if offset < 0 || offset+need > len(a.buf) {

@@ -10,6 +10,13 @@ import (
 // They execute functionally; their simulated GPU cost comes from
 // internal/gpu's dense cost model so end-to-end experiments (Fig. 13-15)
 // account for the GEMM share of each model.
+//
+// Shape-mismatch panics in this file are invariant panics, not
+// input-reachable errors: operand shapes are fixed by model code and the
+// compiled program's buffer planner, never by user-supplied graph or
+// feature data, so a mismatch is a programming bug the process should not
+// limp past. User-reachable shape problems are caught earlier, as errors,
+// by core's operand validation.
 
 // MatMul returns a @ b for a: m×k, b: k×n. It panics on shape mismatch —
 // shapes are programmer-controlled, not data-dependent.

@@ -54,7 +54,10 @@ type Dense struct {
 	Data       []float32
 }
 
-// NewDense allocates a zeroed Rows×Cols tensor.
+// NewDense allocates a zeroed Rows×Cols tensor. A negative shape is an
+// invariant panic: shapes come from model code and validated graph sizes,
+// not from raw user input (untrusted sizes are bounds-checked at the
+// ReadEdgeList / validateOperands boundary).
 func NewDense(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
@@ -62,7 +65,10 @@ func NewDense(rows, cols int) *Dense {
 	return &Dense{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
 }
 
-// FromSlice wraps data (length rows*cols) as a Dense without copying.
+// FromSlice wraps data (length rows*cols) as a Dense without copying. The
+// length check is an invariant panic: callers pass slices they sized
+// themselves (arena views, model buffers), so a mismatch is a bug at the
+// call site, not a data condition.
 func FromSlice(rows, cols int, data []float32) *Dense {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
