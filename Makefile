@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-models race vet faults
+.PHONY: build test check bench bench-models bench-obs race vet faults obs
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ vet:
 # layer's fault-injection points, and the graph loaders) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/... ./internal/faultinject/... ./internal/graph/...
+	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/... ./internal/faultinject/... ./internal/graph/... ./internal/telemetry/...
 
 # faults runs the fault-injection suite under the race detector: injected
 # kernel panics, NaN pokes, slow chunks and lowering failures, each proven
@@ -29,6 +29,19 @@ faults:
 # check is the pre-commit gate: static analysis plus the race-enabled
 # tests of the backend-facing packages, including the fault suite.
 check: vet race faults
+
+# obs runs the observability suite under the race detector: the telemetry
+# package (exporter contracts, bounded buffers, concurrent recording) plus
+# the cross-layer tests (kernel-span count vs compiled-program stats,
+# injected-fault spans, resilient-fallback surfacing).
+obs:
+	$(GO) test -race ./internal/telemetry/...
+	$(GO) test -race -run 'Telemetry|TraceKernelSpans' ./internal/models/...
+
+# bench-obs measures the telemetry hooks' cost around a copy_u.sum kernel
+# on AR and PR, enabled vs disabled; the enabled budget is <5%.
+bench-obs:
+	$(GO) test -run '^$$' -bench BenchmarkTelemetryOverhead .
 
 # bench regenerates the reference-vs-parallel backend comparison on the
 # skewed (AR) and regular (PR) datasets.

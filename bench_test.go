@@ -21,6 +21,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/ops"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -255,6 +256,51 @@ func BenchmarkForwardCompiled(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := cp.Run(x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost of the telemetry hooks around
+// a copy_u.sum kernel on AR and PR: "disabled" is the default one-atomic-load
+// path, "enabled" records spans, counters and kernel records per run. This is
+// the observability-issue acceptance benchmark; EXPERIMENTS.md records the
+// measured overhead (budget: <5% enabled).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	ar, pr := loadBackendBenchGraphs(b)
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{{"AR-skewed", ar}, {"PR-regular", pr}}
+	const feat = 32
+	entry, ok := ops.Lookup("copy_u.sum")
+	if !ok {
+		b.Fatal("copy_u.sum not in registry")
+	}
+	op := entry.Info
+	for _, gr := range graphs {
+		x := tensor.NewDense(gr.g.NumVertices(), feat)
+		x.FillRandom(rand.New(rand.NewSource(7)), 1)
+		out := tensor.NewDense(gr.g.NumVertices(), feat)
+		o := core.Operands{A: tensor.Src(x), B: tensor.NullTensor, C: tensor.Dst(out)}
+		p := core.MustCompile(op, core.Schedule{Strategy: core.ThreadVertex, Group: 1, Tile: 1})
+		for _, mode := range []string{"disabled", "enabled"} {
+			mode := mode
+			b.Run(gr.name+"/"+mode, func(b *testing.B) {
+				telemetry.Reset()
+				defer telemetry.Reset()
+				telemetry.SetEnabled(mode == "enabled")
+				k, err := core.NewParallelBackend(0).Lower(p, gr.g, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(gr.g.NumEdges()) * feat * 4)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := k.Run(); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -7,13 +7,17 @@
 //	ugrapher-bench fig13               # run one experiment
 //	ugrapher-bench all                 # run every experiment in paper order
 //	ugrapher-bench -quick -datasets CO,PR,AR fig1
+//	ugrapher-bench -quick -json out.json all
 //
 // Output is aligned text, one table per experiment; EXPERIMENTS.md discusses
-// the expected shapes.
+// the expected shapes. -json additionally writes one machine-readable summary
+// record per experiment (id, datasets, backend, workers, wall time).
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +26,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,8 +34,12 @@ func main() {
 	datasets := flag.String("datasets", "", "comma-separated dataset codes to restrict to (e.g. CO,PR,AR)")
 	sample := flag.Int("sample", 0, "simulator sampled blocks per kernel (0 = default)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := flag.String("json", "", "write per-experiment JSON summary records to this file")
 	backend := flag.String("backend", "", "host compute backend for functional passes: reference, parallel, resilient or sim (empty = parallel / $UGRAPHER_BACKEND)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget, checked between experiments (0 = none); exceeding it exits with code 3")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot")
+	profile := flag.Bool("profile", false, "print a per-kernel profile table at exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ugrapher-bench [flags] <experiment|all|list>\n\nflags:\n")
 		flag.PrintDefaults()
@@ -72,43 +81,112 @@ func main() {
 		opts.Datasets = strings.Split(*datasets, ",")
 	}
 
-	switch cmd {
-	case "list":
+	if cmd == "list" {
 		for _, e := range bench.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
-	case "all":
-		for _, e := range bench.All() {
-			if ctx.Err() != nil {
-				fmt.Fprintf(os.Stderr, "ugrapher-bench: %v before %s\n", ctx.Err(), e.ID)
-				os.Exit(3)
-			}
-			if err := runOne(e, opts, *csvOut); err != nil {
-				fmt.Fprintf(os.Stderr, "ugrapher-bench: %s: %v\n", e.ID, err)
-				os.Exit(1)
+	}
+
+	obs := telemetry.CLIOptions{TracePath: *tracePath, MetricsPath: *metricsPath, Profile: *profile}
+	obs.Begin()
+
+	var summaries []experimentSummary
+	err := runCmd(ctx, cmd, opts, *csvOut, &summaries)
+
+	// The JSON summaries and telemetry outputs are written even when a later
+	// experiment failed, so completed results are never lost.
+	if *jsonOut != "" {
+		if jerr := writeSummaries(*jsonOut, summaries); jerr != nil {
+			fmt.Fprintf(os.Stderr, "ugrapher-bench: json: %v\n", jerr)
+			if err == nil {
+				err = jerr
 			}
 		}
-		return
-	default:
-		e, err := bench.ByID(cmd)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
+	}
+	if ferr := obs.Finish(os.Stdout); ferr != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-bench: telemetry: %v\n", ferr)
+		if err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(3)
+		}
+		var ue usageError
+		if errors.As(err, &ue) {
 			os.Exit(2)
 		}
-		if err := runOne(e, opts, *csvOut); err != nil {
-			fmt.Fprintf(os.Stderr, "ugrapher-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+		os.Exit(1)
 	}
 }
 
-func runOne(e bench.Experiment, opts bench.Options, csvOut bool) error {
+// usageError marks errors that should exit with the usage code (2).
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// runCmd dispatches "all" or a single experiment id, appending one summary
+// record per completed experiment.
+func runCmd(ctx context.Context, cmd string, opts bench.Options, csvOut bool, summaries *[]experimentSummary) error {
+	if cmd == "all" {
+		for _, e := range bench.All() {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w before %s", err, e.ID)
+			}
+			if err := runOne(e, opts, csvOut, summaries); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+	}
+	e, err := bench.ByID(cmd)
+	if err != nil {
+		return usageError{err}
+	}
+	if err := runOne(e, opts, csvOut, summaries); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return nil
+}
+
+// experimentSummary is the machine-readable record -json emits per
+// experiment.
+type experimentSummary struct {
+	Experiment string   `json:"experiment"`
+	Title      string   `json:"title"`
+	Datasets   []string `json:"datasets,omitempty"`
+	Backend    string   `json:"backend"`
+	Workers    int      `json:"workers"`
+	Quick      bool     `json:"quick"`
+	WallMs     float64  `json:"wall_ms"`
+	Rows       int      `json:"rows"`
+}
+
+func writeSummaries(path string, summaries []experimentSummary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(summaries); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runOne(e bench.Experiment, opts bench.Options, csvOut bool, summaries *[]experimentSummary) error {
 	start := time.Now()
 	tab, err := e.Run(opts)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start)
 	render := tab.Render
 	if csvOut {
 		render = tab.RenderCSV
@@ -121,6 +199,16 @@ func runOne(e bench.Experiment, opts bench.Options, csvOut bool) error {
 	// wall-clock* of producing the experiment on the selected backend.
 	b, _ := opts.ComputeBackend()
 	fmt.Printf("(%s: simulated cycles in table; host wall-clock %v, backend=%s)\n\n",
-		e.ID, time.Since(start).Round(time.Millisecond), b.Name())
+		e.ID, wall.Round(time.Millisecond), b.Name())
+	*summaries = append(*summaries, experimentSummary{
+		Experiment: e.ID,
+		Title:      e.Title,
+		Datasets:   opts.Datasets,
+		Backend:    b.Name(),
+		Workers:    core.Workers(b),
+		Quick:      opts.Quick,
+		WallMs:     float64(wall.Microseconds()) / 1e3,
+		Rows:       len(tab.Rows),
+	})
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/predictor"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,9 @@ func main() {
 	validate := flag.String("validate", "CO,PR,AR,DD", "datasets for the Fig. 12-style validation")
 	gpuName := flag.String("gpu", "V100", "device: V100 or A100")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget, checked at phase boundaries (0 = none); exceeding it exits with code 3")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot")
+	profile := flag.Bool("profile", false, "print a per-kernel profile table at exit")
 	flag.Parse()
 
 	// Exit codes: 1 = execution error, 2 = usage (bad environment), 3 =
@@ -43,13 +47,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugrapher-train: %v\n", err)
 		os.Exit(2)
 	}
+	obs := telemetry.CLIOptions{TracePath: *tracePath, MetricsPath: *metricsPath, Profile: *profile}
+	obs.Begin()
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *graphs, *maxV, *out, *load, *validate, *gpuName); err != nil {
+	err := run(ctx, *graphs, *maxV, *out, *load, *validate, *gpuName)
+	// Telemetry outputs are written even when the run failed, so a trace of
+	// the failure is never lost.
+	if ferr := obs.Finish(os.Stdout); ferr != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-train: telemetry: %v\n", ferr)
+		if err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ugrapher-train: %v\n", err)
 		if errors.Is(err, context.DeadlineExceeded) {
 			os.Exit(3)

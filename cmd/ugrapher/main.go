@@ -35,6 +35,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/ops"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -55,6 +56,9 @@ func main() {
 	noCompile := flag.Bool("no-compile", false, "with -model: skip program compilation and interpret op by op")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); exceeding it exits with code 3")
 	checkNumerics := flag.Bool("check-numerics", false, "scan every graph operator's output for NaN/Inf and fail naming the op")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot")
+	profile := flag.Bool("profile", false, "print a per-kernel profile table at exit")
 	flag.Parse()
 
 	// Exit codes: 1 = execution error, 2 = usage (bad flags or environment),
@@ -70,6 +74,8 @@ func main() {
 		}
 	}
 	core.SetCheckNumerics(*checkNumerics)
+	obs := telemetry.CLIOptions{TracePath: *tracePath, MetricsPath: *metricsPath, Profile: *profile}
+	obs.Begin()
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -81,6 +87,14 @@ func main() {
 		err = runModel(ctx, *dataset, *graphFile, *model, *feat, *classes, *gpuName, *runs, *noCompile)
 	} else {
 		err = run(ctx, *dataset, *graphFile, *opName, *feat, *gpuName, *schedText, *tune, *top, *source)
+	}
+	// Telemetry outputs are written even when the run failed, so a trace of
+	// the failure (failed spans, fallback events) is never lost.
+	if ferr := obs.Finish(os.Stdout); ferr != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher: telemetry: %v\n", ferr)
+		if err == nil {
+			err = ferr
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -59,7 +60,9 @@ func (b *ParallelBackend) Workers() int { return b.workers }
 
 // Lower implements ExecBackend: validate once, resolve operand row
 // selectors, and pick the specialized inner loop.
-func (b *ParallelBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, error) {
+func (b *ParallelBackend) Lower(p *Plan, g *graph.Graph, o Operands) (ck CompiledKernel, err error) {
+	sp := lowerSpan(b.Name(), p)
+	defer func() { endLower(sp, err) }()
 	if err := faultinject.ErrIf(faultinject.LowerFail); err != nil {
 		return nil, err
 	}
@@ -76,6 +79,7 @@ func (b *ParallelBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKe
 		selA: lowerRowSel(o.A),
 		selB: lowerRowSel(o.B),
 		row:  row,
+		site: kernelSite(p, b.Name(), g),
 	}
 	// Bind the range bodies once: passing a method value per Run would
 	// allocate a closure each call and break the zero-steady-state contract.
@@ -107,6 +111,9 @@ type parallelKernel struct {
 
 	runs   int64
 	shards int64
+
+	// site is the telemetry handle, resolved at Lower time.
+	site *telemetry.KernelSite
 }
 
 // partialBufs returns `workers` buffers of n floats each, reusing previous
@@ -151,6 +158,13 @@ func (k *parallelKernel) Run() error { return k.RunCtx(context.Background()) }
 // here into a *KernelError; worker-goroutine panics are recovered at the
 // worker and surfaced through the same type.
 func (k *parallelKernel) RunCtx(ctx context.Context) (err error) {
+	tstart := k.site.Begin()
+	// Registered before the recover defer so it runs after it (LIFO) and
+	// observes the panic already converted into err.
+	defer func() {
+		oc, detail := outcomeOf(err)
+		k.site.End(tstart, oc, detail, nil)
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			err = newKernelError(k.p, k.b.Name(), r, captureStack())

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -24,7 +25,9 @@ func (refBackend) Name() string { return "reference" }
 
 // Lower implements ExecBackend: validation happens here, once, so repeated
 // Run calls skip it.
-func (refBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, error) {
+func (refBackend) Lower(p *Plan, g *graph.Graph, o Operands) (k CompiledKernel, err error) {
+	sp := lowerSpan("reference", p)
+	defer func() { endLower(sp, err) }()
 	if err := faultinject.ErrIf(faultinject.LowerFail); err != nil {
 		return nil, err
 	}
@@ -35,7 +38,8 @@ func (refBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, er
 		p: p, g: g, o: o, fa: makeFetcher(o.A), fb: makeFetcher(o.B),
 		// Scratch for the vertex-centric accumulator, held by the kernel so
 		// repeated Run calls allocate nothing.
-		acc: make([]float32, o.C.T.Cols),
+		acc:  make([]float32, o.C.T.Cols),
+		site: kernelSite(p, "reference", g),
 	}, nil
 }
 
@@ -46,6 +50,9 @@ type refKernel struct {
 	fa, fb fetcher
 	acc    []float32
 	runs   int64
+	// site is the telemetry handle, resolved at Lower time. Backends that
+	// wrap this kernel (sim) null it to keep one record per logical run.
+	site *telemetry.KernelSite
 }
 
 // Plan implements CompiledKernel.
@@ -59,6 +66,13 @@ func (k *refKernel) Run() error { return k.RunCtx(context.Background()) }
 // interpreted loops is recovered into a *KernelError like the parallel
 // backend's.
 func (k *refKernel) RunCtx(ctx context.Context) (err error) {
+	tstart := k.site.Begin()
+	// Registered before the recover defer so it runs after it (LIFO) and
+	// observes the panic already converted into err.
+	defer func() {
+		oc, detail := outcomeOf(err)
+		k.site.End(tstart, oc, detail, nil)
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			err = newKernelError(k.p, "reference", r, captureStack())

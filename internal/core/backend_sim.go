@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 )
 
 // The sim backend: the GPU cycle simulator behind the ExecBackend
@@ -37,16 +38,24 @@ func (b *SimBackend) Name() string { return "sim" }
 func (b *SimBackend) Device() *gpu.Device { return b.dev }
 
 // Lower implements ExecBackend.
-func (b *SimBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, error) {
+func (b *SimBackend) Lower(p *Plan, g *graph.Graph, o Operands) (ck CompiledKernel, err error) {
+	sp := lowerSpan(b.Name(), p)
+	defer func() { endLower(sp, err) }()
 	ref, err := ReferenceBackend().Lower(p, g, o)
 	if err != nil {
 		return nil, err
+	}
+	// The wrapped compute kernel records through the sim kernel's site, not
+	// its own: one logical run must produce one kernel record, and it should
+	// carry the simulator metrics.
+	if rk, ok := ref.(*refKernel); ok {
+		rk.site = nil
 	}
 	gk, err := p.KernelFor(g, o, b.dev)
 	if err != nil {
 		return nil, err
 	}
-	return &simKernel{b: b, compute: ref, gk: gk, g: g}, nil
+	return &simKernel{b: b, compute: ref, gk: gk, g: g, site: kernelSite(p, b.Name(), g)}, nil
 }
 
 type simKernel struct {
@@ -56,6 +65,9 @@ type simKernel struct {
 	g       *graph.Graph
 	runs    int64
 	metrics gpu.Metrics
+	site    *telemetry.KernelSite
+	// sample is reused across runs so the steady state allocates nothing.
+	sample telemetry.SimSample
 }
 
 // Plan implements CompiledKernel.
@@ -68,11 +80,20 @@ func (k *simKernel) Run() error { return k.RunCtx(context.Background()) }
 // cancellation and panic recovery to the wrapped compute kernel; the
 // simulation replay only happens after a successful compute pass.
 func (k *simKernel) RunCtx(ctx context.Context) error {
+	tstart := k.site.Begin()
 	if err := k.compute.RunCtx(ctx); err != nil {
+		oc, detail := outcomeOf(err)
+		k.site.End(tstart, oc, detail, nil)
 		return err
 	}
 	k.metrics = gpu.Simulate(k.b.dev, k.gk, k.b.opts...)
 	k.runs++
+	k.sample = telemetry.SimSample{
+		Cycles:    k.metrics.Cycles,
+		L1HitRate: k.metrics.L1HitRate,
+		L2HitRate: k.metrics.L2HitRate,
+	}
+	k.site.End(tstart, telemetry.OutcomeOK, "", &k.sample)
 	return nil
 }
 

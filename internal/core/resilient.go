@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 )
 
 // The fallback ladder (DESIGN.md §7): a ResilientBackend wraps a fast
@@ -59,8 +60,24 @@ func (b *ResilientBackend) SetLogger(w io.Writer) {
 // backend (lowering failures and run failures both count).
 func (b *ResilientBackend) Fallbacks() int64 { return b.fallbacks.Load() }
 
+// Workers reports the primary backend's worker-pool size (1 when the
+// primary runs sequentially).
+func (b *ResilientBackend) Workers() int { return Workers(b.primary) }
+
 func (b *ResilientBackend) logf(format string, args ...any) {
 	fmt.Fprintf(b.logw, "ugrapher: resilient: "+format+"\n", args...)
+}
+
+// countFallback records one ladder activation in the backend counter and in
+// telemetry (ugrapher_fallbacks_total plus an instant event on the
+// "resilient" track), and emits a one-line warning the first time the ladder
+// fires — the signal that the fast path is misbehaving.
+func (b *ResilientBackend) countFallback(op string) {
+	telemetry.RecordFallback(op, b.primary.Name(), b.secondary.Name())
+	if b.fallbacks.Add(1) == 1 {
+		b.logf("warning: first fallback from %s to %s — the primary backend is failing kernels; rerun with -trace/-metrics for details",
+			b.primary.Name(), b.secondary.Name())
+	}
 }
 
 // Lower implements ExecBackend. If the primary cannot lower the plan at
@@ -70,7 +87,7 @@ func (b *ResilientBackend) logf(format string, args ...any) {
 func (b *ResilientBackend) Lower(p *Plan, g *graph.Graph, o Operands) (CompiledKernel, error) {
 	pk, err := b.primary.Lower(p, g, o)
 	if err != nil {
-		b.fallbacks.Add(1)
+		b.countFallback(opLabel(p))
 		b.logf("%s backend failed to lower %s: %v; lowering on %s",
 			b.primary.Name(), opLabel(p), err, b.secondary.Name())
 		sk, serr := b.secondary.Lower(p, g, o)
@@ -118,7 +135,7 @@ func (k *resilientKernel) RunCtx(ctx context.Context) error {
 	if err == nil || k.primaryIsFallback || !errors.As(err, &ke) {
 		return err
 	}
-	k.b.fallbacks.Add(1)
+	k.b.countFallback(ke.Op)
 	k.b.logf("kernel %s [%s] failed on %s: %v; retrying on %s",
 		ke.Op, ke.Strategy, ke.Backend, ke.Err, k.b.secondary.Name())
 	if k.fallback == nil {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ops"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -274,12 +275,18 @@ func (w *Graph) runOp(info ops.OpInfo, operands core.Operands, feat int, outFiel
 		Device: w.dev,
 	}
 	sched := w.chooser(task)
+	if telemetry.Enabled() {
+		telemetry.RecordScheduleChoice(info.Name, sched.Strategy.Code(), sched.String())
+	}
+	sp := telemetry.StartSpan("dglcompat", "op", info.Name)
 	// RunWith lowers once through the backend abstraction: operand
 	// validation happens at lowering, not per execution.
 	res, err := core.RunWith(w.backend, w.g, info, operands, sched, w.dev)
 	if err != nil {
+		sp.EndErr(err.Error())
 		return gpu.Metrics{}, err
 	}
+	sp.End()
 	if info.CKind == tensor.EdgeK {
 		w.edgeData[outField] = operands.C.T
 	} else {
@@ -351,6 +358,9 @@ func (w *Graph) CompileUpdateAll(msg MessageFn, reduce ReduceFn) (*CompiledUpdat
 		Device: w.dev,
 	}
 	sched := w.chooser(task)
+	if telemetry.Enabled() {
+		telemetry.RecordScheduleChoice(info.Name, sched.Strategy.Code(), sched.String())
+	}
 	plan, err := core.Compile(info, sched)
 	if err != nil {
 		return nil, err

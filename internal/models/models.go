@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/gpu"
@@ -375,7 +376,7 @@ func ForwardCtx(ctx context.Context, m Model, g *graph.Graph, x *tensor.Dense, c
 // ByName resolves a model by its benchmark name ("GCN", "SSum", ...).
 func ByName(name string) (Model, error) {
 	for _, m := range All() {
-		if m.Name() == name {
+		if strings.EqualFold(m.Name(), name) {
 			return m, nil
 		}
 	}

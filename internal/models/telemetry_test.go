@@ -1,0 +1,84 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// TestTraceKernelSpansMatchCompiledProgram pins the acceptance criterion from
+// the observability issue: one Run of a compiled program emits exactly one
+// kernel span per graph kernel the compiler reports in Stats().
+func TestTraceKernelSpansMatchCompiledProgram(t *testing.T) {
+	telemetry.Reset()
+	t.Cleanup(telemetry.Reset)
+	telemetry.SetEnabled(true)
+
+	g := smallGraph(t, 21)
+	const inFeat, classes = 12, 5
+	eng := &FixedEngine{
+		EngineName:   "fixed-test",
+		Dev:          gpu.V100(),
+		AggrSchedule: core.DefaultSchedule,
+		MsgCSchedule: core.DefaultSchedule,
+		Fuses:        true,
+		Compute:      core.NewParallelBackend(1),
+	}
+	x := tensor.NewDense(g.NumVertices(), inFeat)
+	x.FillRandom(rand.New(rand.NewSource(77)), 1)
+
+	cp, err := CompileModel(NewGCN(), g, inFeat, classes, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Run(x); err != nil {
+		t.Fatal(err)
+	}
+
+	var kernelSpans, stepSpans, runSpans int
+	for _, ev := range telemetry.Default().Events() {
+		if ev.Instant {
+			continue
+		}
+		switch ev.Cat {
+		case "kernel":
+			kernelSpans++
+		case "step":
+			stepSpans++
+		case "run":
+			runSpans++
+		}
+	}
+	want := cp.Stats().GraphKernels
+	if kernelSpans != want {
+		t.Errorf("trace has %d kernel spans after one Run, want %d (Stats().GraphKernels)", kernelSpans, want)
+	}
+	if runSpans != 1 {
+		t.Errorf("trace has %d run spans, want 1", runSpans)
+	}
+	if stepSpans == 0 {
+		t.Error("trace has no program step spans")
+	}
+	if got := telemetry.Default().CounterValues()[telemetry.MetricProgramRuns]; got != 1 {
+		t.Errorf("%s = %d, want 1", telemetry.MetricProgramRuns, got)
+	}
+
+	// A second Run doubles the kernel spans: spans are per execution, not per
+	// lowering.
+	if _, err := cp.Run(x); err != nil {
+		t.Fatal(err)
+	}
+	kernelSpans = 0
+	for _, ev := range telemetry.Default().Events() {
+		if !ev.Instant && ev.Cat == "kernel" {
+			kernelSpans++
+		}
+	}
+	if kernelSpans != 2*want {
+		t.Errorf("trace has %d kernel spans after two Runs, want %d", kernelSpans, 2*want)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/program"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -147,11 +148,15 @@ func (t *Trainer) Epoch(x *tensor.Dense) (*tensor.Dense, error) {
 // forward pass between steps and inside graph kernels. The trainer stays
 // usable after a cancelled epoch (the next run overwrites the arena).
 func (t *Trainer) EpochCtx(ctx context.Context, x *tensor.Dense) (*tensor.Dense, error) {
+	sp := telemetry.StartSpan("trainer", "epoch", "epoch")
 	out, err := t.compiled.RunCtx(ctx, x)
 	if err != nil {
+		sp.EndErr(err.Error())
 		return nil, err
 	}
 	t.epochs++
+	sp.End()
+	telemetry.CountTrainerEpoch()
 	return out, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ops"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -67,6 +68,7 @@ type Stats struct {
 type step struct {
 	op      NodeOp
 	name    string
+	label   string // precomputed span label, so Run-time tracing allocates nothing
 	x, y    *tensor.Dense
 	out     *tensor.Dense
 	chain   []Unary
@@ -92,10 +94,18 @@ type CompiledProgram struct {
 
 // Compile lowers p onto graph g with schedules chosen by s and kernels
 // executed by backend (nil = core.DefaultBackend()).
-func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) (*CompiledProgram, error) {
+func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) (cp *CompiledProgram, err error) {
 	if backend == nil {
 		backend = core.DefaultBackend()
 	}
+	csp := telemetry.StartSpan("program", "compile", "compile")
+	defer func() {
+		if err != nil {
+			csp.EndErr(err.Error())
+		} else {
+			csp.End()
+		}
+	}()
 	var stats Stats
 
 	// Pass 1: fusion (engines that fuse) + dead-code elimination.
@@ -136,7 +146,7 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 		views[n.Out] = arena.View(offsets[plan.Assign[n.Out]], work.RowsOf(n.Out, numV, numE), v.Cols)
 	}
 
-	cp := &CompiledProgram{
+	cp = &CompiledProgram{
 		prog: work, g: g, plan: plan, arena: arena,
 		input:  views[work.Input],
 		output: views[work.Output],
@@ -148,7 +158,7 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 	// with step construction.
 	for i := range work.Nodes {
 		n := &work.Nodes[i]
-		st := step{op: n.Op, name: n.Name, out: views[n.Out], scale: n.Scale, chain: n.Chain, inPlace: plan.InPlace[i]}
+		st := step{op: n.Op, name: n.Name, label: stepLabel(n.Op, n.Name), out: views[n.Out], scale: n.Scale, chain: n.Chain, inPlace: plan.InPlace[i]}
 		if n.X != NoValue {
 			st.x = views[n.X]
 		}
@@ -169,6 +179,9 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 				task.BCols = work.Values[n.Y].Cols
 			}
 			sched := s.ScheduleFor(task)
+			if telemetry.Enabled() { // guard keeps sched.String() off the disabled path
+				telemetry.RecordScheduleChoice(n.Name, sched.Strategy.Code(), sched.String())
+			}
 			op := n.GOp
 			op.Name = n.Name
 			plan2, err := core.Compile(op, sched)
@@ -190,6 +203,15 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 		cp.steps = append(cp.steps, st)
 	}
 	return cp, nil
+}
+
+// stepLabel names a step for its trace span, computed once at compile time
+// so the Run-time tracing path performs no string building.
+func stepLabel(op NodeOp, name string) string {
+	if name == "" {
+		return op.String()
+	}
+	return op.String() + " " + name
 }
 
 // Run executes the compiled forward pass on input features x (|V| rows,
@@ -236,42 +258,58 @@ func (cp *CompiledProgram) RunCtx(ctx context.Context, x *tensor.Dense) (*tensor
 	if err := cp.revalidate(); err != nil {
 		return nil, err
 	}
+	run := telemetry.StartSpan("program", "run", "forward")
 	done := ctx.Done()
 	copy(cp.input.Data, x.Data)
 	for i := range cp.steps {
 		if done != nil {
 			select {
 			case <-done:
+				run.EndErr("cancelled")
 				return nil, ctx.Err()
 			default:
 			}
 		}
 		st := &cp.steps[i]
-		switch st.op {
-		case OpGEMM:
-			tensor.MatMulInto(st.out, st.x, st.y)
-		case OpUnary:
-			if !st.inPlace {
-				copy(st.out.Data, st.x.Data)
-			}
-			for _, u := range st.chain {
-				u.Apply(st.out)
-			}
-		case OpAddScaled:
-			tensor.AddScaledInto(st.out, st.x, st.y, st.scale)
-		case OpHeadMerge:
-			tensor.RowMeanInto(st.out, st.x)
-		case OpConcat:
-			tensor.ConcatInto(st.out, st.x, st.y)
-		case OpGraph:
-			if err := st.kern.RunCtx(ctx); err != nil {
-				return nil, fmt.Errorf("program: %s: %w", st.name, err)
-			}
-		default:
-			return nil, fmt.Errorf("program: unexpected step op %s", st.op)
+		sp := telemetry.StartSpan("program", "step", st.label)
+		if err := cp.runStep(ctx, st); err != nil {
+			sp.EndErr(err.Error())
+			run.EndErr(err.Error())
+			return nil, err
 		}
+		sp.End()
 	}
+	run.End()
+	telemetry.CountProgramRun()
 	return cp.output, nil
+}
+
+// runStep executes one compiled step against its prebound tensors.
+func (cp *CompiledProgram) runStep(ctx context.Context, st *step) error {
+	switch st.op {
+	case OpGEMM:
+		tensor.MatMulInto(st.out, st.x, st.y)
+	case OpUnary:
+		if !st.inPlace {
+			copy(st.out.Data, st.x.Data)
+		}
+		for _, u := range st.chain {
+			u.Apply(st.out)
+		}
+	case OpAddScaled:
+		tensor.AddScaledInto(st.out, st.x, st.y, st.scale)
+	case OpHeadMerge:
+		tensor.RowMeanInto(st.out, st.x)
+	case OpConcat:
+		tensor.ConcatInto(st.out, st.x, st.y)
+	case OpGraph:
+		if err := st.kern.RunCtx(ctx); err != nil {
+			return fmt.Errorf("program: %s: %w", st.name, err)
+		}
+	default:
+		return fmt.Errorf("program: unexpected step op %s", st.op)
+	}
+	return nil
 }
 
 // Stats reports what compilation did.

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exporter (exposition format version 0.0.4): one
+// snapshot of every counter, gauge and histogram in the registry. Counters
+// render their exact int64 value so a parse of the output round-trips
+// losslessly (pinned by the exporter tests). Series are sorted by family
+// then label set, so diffs between snapshots are stable.
+
+// family returns the metric family of a full series name (the part before
+// any label braces).
+func family(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// WritePrometheus renders the metrics snapshot in the Prometheus text
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	type histSnap struct {
+		name   string
+		bounds []float64
+		counts []int64
+		sum    float64
+		count  int64
+	}
+	hists := make([]histSnap, 0, len(r.hists))
+	for name, h := range r.hists {
+		hs := histSnap{name: name, bounds: h.bounds, sum: h.SumSeconds(), count: h.Count()}
+		hs.counts = make([]int64, len(h.counts))
+		for i := range h.counts {
+			hs.counts[i] = h.counts[i].Load()
+		}
+		hists = append(hists, hs)
+	}
+	r.mu.Unlock()
+
+	// Counters and gauges, grouped by family with one TYPE line each.
+	emit := func(kind string, series []string, value func(string) string) error {
+		sort.Strings(series)
+		lastFamily := ""
+		for _, s := range series {
+			if f := family(s); f != lastFamily {
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f, kind); err != nil {
+					return err
+				}
+				lastFamily = f
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", s, value(s)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cs := make([]string, 0, len(counters))
+	for s := range counters {
+		cs = append(cs, s)
+	}
+	if err := emit("counter", cs, func(s string) string {
+		return strconv.FormatInt(counters[s], 10)
+	}); err != nil {
+		return err
+	}
+
+	gs := make([]string, 0, len(gauges))
+	for s := range gauges {
+		gs = append(gs, s)
+	}
+	if err := emit("gauge", gs, func(s string) string {
+		return formatFloat(gauges[s])
+	}); err != nil {
+		return err
+	}
+
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	for _, h := range hists {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, formatFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", h.name, h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,387 @@
+package telemetry
+
+// Spans, trace events, kernel sites and the kernel-run record stream.
+//
+// The span hierarchy (DESIGN.md §8):
+//
+//	track "program"    compile, run, one span per program step
+//	track "trainer"    one span per Trainer epoch
+//	track "dglcompat"  one span per update_all / apply_edges call
+//	track <backend>    lower spans and one kernel span per CompiledKernel.Run
+//	track "scheduler"  instant events for per-op strategy choices
+//	track "resilient"  instant events for fallback-ladder activations
+//
+// Tracks render as separate rows ("threads") in chrome://tracing / Perfetto.
+
+// TraceEvent is one completed span or instant event, timestamped in
+// monotonic nanoseconds since process start.
+type TraceEvent struct {
+	Name  string
+	Cat   string
+	Track int
+	Start int64 // ns
+	Dur   int64 // ns; 0 with Instant true means a point event
+	// Instant marks a point event (Chrome ph "i") rather than a span.
+	Instant bool
+	Args    map[string]string
+}
+
+// Track interns a track name to a stable id (the Chrome "tid").
+func (r *Registry) Track(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trackLocked(name)
+}
+
+func (r *Registry) trackLocked(name string) int {
+	if id, ok := r.tracks[name]; ok {
+		return id
+	}
+	id := len(r.trackNames)
+	r.tracks[name] = id
+	r.trackNames = append(r.trackNames, name)
+	return id
+}
+
+// TrackNames lists the interned track names, index == track id.
+func (r *Registry) TrackNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.trackNames))
+	copy(out, r.trackNames)
+	return out
+}
+
+// addEvent appends ev, dropping (and counting) when the buffer is full so a
+// long-running process cannot grow without bound.
+func (r *Registry) addEvent(ev TraceEvent) {
+	r.mu.Lock()
+	if len(r.events) >= r.maxEvents {
+		r.mu.Unlock()
+		r.dropped.Inc()
+		return
+	}
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events snapshots the collected trace events in arrival order.
+func (r *Registry) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Span is an open interval on one track. The zero Span (telemetry disabled
+// at StartSpan time) is inert: End and its variants are no-ops, so call
+// sites need no second Enabled() check.
+type Span struct {
+	reg   *Registry
+	name  string
+	cat   string
+	track int
+	start int64
+}
+
+// StartSpan opens a span on the default registry; see Registry.StartSpan.
+func StartSpan(track, cat, name string) Span {
+	if !Enabled() {
+		return Span{}
+	}
+	return defaultReg.StartSpan(track, cat, name)
+}
+
+// StartSpan opens a span named name on the given track. Returns the zero
+// (inert) Span while telemetry is disabled.
+func (r *Registry) StartSpan(track, cat, name string) Span {
+	if !Enabled() {
+		return Span{}
+	}
+	return Span{reg: r, name: name, cat: cat, track: r.Track(track), start: now()}
+}
+
+// End closes the span successfully.
+func (s Span) End() { s.end(nil) }
+
+// EndErr closes the span as failed, attaching the error text.
+func (s Span) EndErr(errText string) {
+	if s.reg == nil {
+		return
+	}
+	s.end(map[string]string{"outcome": "error", "error": errText})
+}
+
+// EndArgs closes the span with explicit args.
+func (s Span) EndArgs(args map[string]string) { s.end(args) }
+
+func (s Span) end(args map[string]string) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.addEvent(TraceEvent{
+		Name: s.name, Cat: s.cat, Track: s.track,
+		Start: s.start, Dur: now() - s.start, Args: args,
+	})
+}
+
+// Instant records a point event on a track (fallbacks, schedule choices).
+func (r *Registry) Instant(track, cat, name string, args map[string]string) {
+	if !Enabled() {
+		return
+	}
+	r.addEvent(TraceEvent{
+		Name: name, Cat: cat, Track: r.Track(track),
+		Start: now(), Instant: true, Args: args,
+	})
+}
+
+// Outcome classifies how a kernel run ended. The execution layer maps its
+// error taxonomy (DESIGN.md §7) onto these values.
+type Outcome string
+
+const (
+	OutcomeOK           Outcome = "ok"
+	OutcomeKernelError  Outcome = "kernel_error"
+	OutcomeNumericError Outcome = "numeric_error"
+	OutcomeCancelled    Outcome = "cancelled"
+	OutcomeError        Outcome = "error"
+)
+
+// SimSample carries the simulator metrics of one sim-backend run.
+type SimSample struct {
+	Cycles    float64
+	L1HitRate float64
+	L2HitRate float64
+}
+
+// KernelRecord is one entry of the per-kernel-run record stream.
+type KernelRecord struct {
+	Op       string
+	Strategy string // basic strategy code: TV, TE, WV, WE
+	Schedule string // full schedule, e.g. WE_G8_T4
+	Backend  string
+	Vertices int64
+	Edges    int64
+	WallNs   int64
+	Outcome  Outcome
+	Err      string
+	// HasSim marks records produced by the sim backend; the three fields
+	// below are only meaningful when it is set.
+	HasSim    bool
+	SimCycles float64
+	L1HitRate float64
+	L2HitRate float64
+}
+
+// addRecord appends to the bounded ring (oldest entries overwritten).
+func (r *Registry) addRecord(rec KernelRecord) {
+	r.mu.Lock()
+	if len(r.records) < cap(r.records) {
+		r.records = append(r.records, rec)
+	} else {
+		r.records[r.recPos] = rec
+		r.recPos = (r.recPos + 1) % cap(r.records)
+		r.recFull = true
+	}
+	r.mu.Unlock()
+}
+
+// Records snapshots the record stream, oldest first.
+func (r *Registry) Records() []KernelRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.recFull {
+		out := make([]KernelRecord, len(r.records))
+		copy(out, r.records)
+		return out
+	}
+	out := make([]KernelRecord, 0, len(r.records))
+	out = append(out, r.records[r.recPos:]...)
+	out = append(out, r.records[:r.recPos]...)
+	return out
+}
+
+// KernelSite is the per-lowered-kernel instrumentation handle. Backends
+// create one at Lower time (compile-time cost only) so each Run records
+// through pre-resolved counters with no map lookups. A nil *KernelSite is
+// inert — backends that wrap other backends' kernels null the inner site to
+// avoid double-counting.
+type KernelSite struct {
+	reg      *Registry
+	Op       string
+	Strategy string
+	Schedule string
+	Backend  string
+	Vertices int64
+	Edges    int64
+
+	track int
+	runs  *Counter
+	edges *Counter
+	wall  *Histogram
+
+	nRuns   Counter
+	nFails  Counter
+	totalNs Counter
+}
+
+// NewKernelSite registers a site on the default registry.
+func NewKernelSite(op, strategy, schedule, backend string, vertices, edges int64) *KernelSite {
+	return defaultReg.NewKernelSite(op, strategy, schedule, backend, vertices, edges)
+}
+
+// NewKernelSite builds and registers the instrumentation handle for one
+// lowered kernel. Safe to call with telemetry disabled; the site arms itself
+// automatically when telemetry is enabled later.
+func (r *Registry) NewKernelSite(op, strategy, schedule, backend string, vertices, edges int64) *KernelSite {
+	s := &KernelSite{
+		reg: r, Op: op, Strategy: strategy, Schedule: schedule, Backend: backend,
+		Vertices: vertices, Edges: edges,
+		track: r.Track(backend),
+		runs:  r.Counter(Series2("ugrapher_kernel_runs_total", "backend", backend, "strategy", strategy)),
+		edges: r.Counter(Series1("ugrapher_kernel_edges_processed_total", "backend", backend)),
+		wall:  r.Histogram(MetricKernelWall, DefaultLatencyBuckets),
+	}
+	r.mu.Lock()
+	r.sites = append(r.sites, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Begin opens a kernel run. Returns 0 (and does nothing else) while
+// telemetry is disabled or the site is nil — one atomic load.
+func (s *KernelSite) Begin() int64 {
+	if s == nil || !Enabled() {
+		return 0
+	}
+	return now()
+}
+
+// End closes a kernel run begun at start: bumps the per-strategy counters,
+// observes the latency histogram, appends the trace span and the kernel
+// record, and — for sim-backend runs — publishes the cache-hit gauges.
+// Inert while disabled or on a nil site.
+func (s *KernelSite) End(start int64, outcome Outcome, errText string, sim *SimSample) {
+	if s == nil || !Enabled() {
+		return
+	}
+	end := now()
+	if start == 0 {
+		start = end // enabled mid-run: report a zero-length span, not garbage
+	}
+	dur := end - start
+	s.runs.Inc()
+	s.edges.Add(s.Edges)
+	s.wall.Observe(dur)
+	s.nRuns.Inc()
+	s.totalNs.Add(dur)
+
+	rec := KernelRecord{
+		Op: s.Op, Strategy: s.Strategy, Schedule: s.Schedule, Backend: s.Backend,
+		Vertices: s.Vertices, Edges: s.Edges,
+		WallNs: dur, Outcome: outcome, Err: errText,
+	}
+	args := map[string]string{
+		"op":       s.Op,
+		"strategy": s.Strategy,
+		"schedule": s.Schedule,
+		"outcome":  string(outcome),
+	}
+	if outcome != OutcomeOK {
+		s.nFails.Inc()
+		s.reg.Counter(Series2("ugrapher_kernel_failures_total", "backend", s.Backend, "outcome", string(outcome))).Inc()
+		if outcome == OutcomeNumericError {
+			s.reg.numericFails.Inc()
+		}
+		if errText != "" {
+			args["error"] = errText
+		}
+	}
+	if sim != nil {
+		rec.HasSim = true
+		rec.SimCycles, rec.L1HitRate, rec.L2HitRate = sim.Cycles, sim.L1HitRate, sim.L2HitRate
+		s.reg.Gauge("ugrapher_sim_l1_hit_rate").Set(sim.L1HitRate)
+		s.reg.Gauge("ugrapher_sim_l2_hit_rate").Set(sim.L2HitRate)
+		s.reg.Gauge("ugrapher_sim_cycles_last").Set(sim.Cycles)
+		s.reg.Counter("ugrapher_sim_runs_total").Inc()
+		args["sim_cycles"] = formatFloat(sim.Cycles)
+	}
+	s.reg.addRecord(rec)
+	s.reg.addEvent(TraceEvent{
+		Name: s.Op, Cat: "kernel", Track: s.track,
+		Start: start, Dur: dur, Args: args,
+	})
+}
+
+// SiteStats is the aggregate view of one kernel site (profile tables).
+type SiteStats struct {
+	Op       string
+	Strategy string
+	Schedule string
+	Backend  string
+	Runs     int64
+	Failures int64
+	TotalNs  int64
+}
+
+// SiteStats snapshots every registered site's aggregates.
+func (r *Registry) SiteStats() []SiteStats {
+	r.mu.Lock()
+	sites := make([]*KernelSite, len(r.sites))
+	copy(sites, r.sites)
+	r.mu.Unlock()
+	out := make([]SiteStats, 0, len(sites))
+	for _, s := range sites {
+		out = append(out, SiteStats{
+			Op: s.Op, Strategy: s.Strategy, Schedule: s.Schedule, Backend: s.Backend,
+			Runs: s.nRuns.Value(), Failures: s.nFails.Value(), TotalNs: s.totalNs.Value(),
+		})
+	}
+	return out
+}
+
+// RecordScheduleChoice audits one scheduler decision: which schedule the
+// engine picked for op. Counted per basic strategy and emitted as an instant
+// event on the "scheduler" track. No-op while telemetry is disabled.
+func RecordScheduleChoice(op, strategy, schedule string) {
+	if !Enabled() {
+		return
+	}
+	defaultReg.Counter(Series1("ugrapher_schedule_choices_total", "strategy", strategy)).Inc()
+	defaultReg.Instant("scheduler", "schedule", op, map[string]string{
+		"op": op, "schedule": schedule, "strategy": strategy,
+	})
+}
+
+// RecordFallback counts one fallback-ladder activation. The counter always
+// increments (the fallback path is cold and the count must survive a later
+// enable); the instant event is only emitted while telemetry is enabled.
+func RecordFallback(op, from, to string) {
+	defaultReg.fallbacks.Inc()
+	if Enabled() {
+		defaultReg.Instant("resilient", "fallback", op, map[string]string{
+			"op": op, "from": from, "to": to,
+		})
+	}
+}
+
+// Fallbacks reports the process-wide fallback count.
+func Fallbacks() int64 { return defaultReg.fallbacks.Value() }
+
+// CountProgramRun counts one compiled-program Run completion.
+func CountProgramRun() {
+	if !Enabled() {
+		return
+	}
+	defaultReg.programRuns.Inc()
+}
+
+// CountTrainerEpoch counts one Trainer epoch completion.
+func CountTrainerEpoch() {
+	if !Enabled() {
+		return
+	}
+	defaultReg.trainerEpochs.Inc()
+}
