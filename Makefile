@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-models bench-obs race vet faults obs
+.PHONY: build test check bench bench-models bench-obs race vet faults obs lint verify
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,17 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo-invariant source linter (hook discipline, panic
+# justification, no-alloc-in-Run, suppression hygiene) over the internal
+# and cmd trees. Exit 1 on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/ugrapher-lint
+
+# verify compiles every model under every strategy on both host backends
+# and runs the IR/plan verifier over each result. Exit 1 on any violation.
+verify:
+	$(GO) run ./cmd/ugrapher-lint -ir
 
 # race runs the concurrency-sensitive packages (the parallel host backend
 # and its consumers, including the compiled-program runtime, the hardening
@@ -26,9 +37,10 @@ faults:
 	$(GO) test -race ./internal/faultinject/...
 	$(GO) test -race -run 'Fault|Inject|Resilient|Cancel|Deadline|Numeric|KernelPanic|Revalidate' ./internal/core/... ./internal/program/... ./internal/models/...
 
-# check is the pre-commit gate: static analysis plus the race-enabled
-# tests of the backend-facing packages, including the fault suite.
-check: vet race faults
+# check is the pre-commit gate: static analysis (go vet, the repo linter,
+# the IR/plan verifier) plus the race-enabled tests of the backend-facing
+# packages, including the fault suite.
+check: vet lint verify race faults
 
 # obs runs the observability suite under the race detector: the telemetry
 # package (exporter contracts, bounded buffers, concurrent recording) plus

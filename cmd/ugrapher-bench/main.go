@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/telemetry"
@@ -164,6 +165,12 @@ type experimentSummary struct {
 	Quick      bool     `json:"quick"`
 	WallMs     float64  `json:"wall_ms"`
 	Rows       int      `json:"rows"`
+	// Verified reports whether the static analysis ran over the experiment's
+	// compiled artifacts and found no violations. False means no plan or
+	// program was compiled during the run (nothing was verified) — a clean
+	// run can never carry violations, since verification failures abort
+	// compilation.
+	Verified bool `json:"verified"`
 }
 
 func writeSummaries(path string, summaries []experimentSummary) error {
@@ -182,10 +189,12 @@ func writeSummaries(path string, summaries []experimentSummary) error {
 
 func runOne(e bench.Experiment, opts bench.Options, csvOut bool, summaries *[]experimentSummary) error {
 	start := time.Now()
+	vsBefore := analysis.Stats()
 	tab, err := e.Run(opts)
 	if err != nil {
 		return err
 	}
+	vsAfter := analysis.Stats()
 	wall := time.Since(start)
 	render := tab.Render
 	if csvOut {
@@ -209,6 +218,8 @@ func runOne(e bench.Experiment, opts bench.Options, csvOut bool, summaries *[]ex
 		Quick:      opts.Quick,
 		WallMs:     float64(wall.Microseconds()) / 1e3,
 		Rows:       len(tab.Rows),
+		Verified: (vsAfter.Plans > vsBefore.Plans || vsAfter.Programs > vsBefore.Programs) &&
+			vsAfter.Violations == vsBefore.Violations,
 	})
 	return nil
 }

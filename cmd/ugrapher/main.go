@@ -17,6 +17,12 @@
 //
 //	ugrapher -dataset CO -model GCN -feat 32 -classes 16
 //	ugrapher -dataset CO -model GAT -feat 32 -no-compile
+//
+// -verify prints the static-analysis report for whatever was compiled (the
+// whole program with -model, the single kernel plan otherwise) and exits
+// nonzero on violations:
+//
+//	ugrapher -dataset CO -model GCN -feat 32 -verify
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/gpu"
@@ -54,6 +61,7 @@ func main() {
 	classes := flag.Int("classes", 16, "with -model: number of output classes")
 	runs := flag.Int("runs", 5, "with -model: steady-state repetitions to time")
 	noCompile := flag.Bool("no-compile", false, "with -model: skip program compilation and interpret op by op")
+	verify := flag.Bool("verify", false, "print the static-analysis verification report (whole program with -model, compiled plan otherwise); violations exit nonzero")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); exceeding it exits with code 3")
 	checkNumerics := flag.Bool("check-numerics", false, "scan every graph operator's output for NaN/Inf and fail naming the op")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
@@ -84,9 +92,9 @@ func main() {
 	}
 	var err error
 	if *model != "" {
-		err = runModel(ctx, *dataset, *graphFile, *model, *feat, *classes, *gpuName, *runs, *noCompile)
+		err = runModel(ctx, *dataset, *graphFile, *model, *feat, *classes, *gpuName, *runs, *noCompile, *verify)
 	} else {
-		err = run(ctx, *dataset, *graphFile, *opName, *feat, *gpuName, *schedText, *tune, *top, *source)
+		err = run(ctx, *dataset, *graphFile, *opName, *feat, *gpuName, *schedText, *tune, *top, *source, *verify)
 	}
 	// Telemetry outputs are written even when the run failed, so a trace of
 	// the failure (failed spans, fallback events) is never lost.
@@ -109,7 +117,7 @@ func main() {
 // -> buffer-plan once, then repeated zero-allocation runs) or interpreted
 // (the op-by-op path, rebuilt every run), printing the one-off compile cost
 // and the steady-state per-run wall clock on separate lines.
-func runModel(ctx context.Context, dataset, graphFile, name string, feat, classes int, gpuName string, runs int, noCompile bool) error {
+func runModel(ctx context.Context, dataset, graphFile, name string, feat, classes int, gpuName string, runs int, noCompile, verify bool) error {
 	g, err := loadGraph(dataset, graphFile)
 	if err != nil {
 		return err
@@ -134,6 +142,9 @@ func runModel(ctx context.Context, dataset, graphFile, name string, feat, classe
 	x.FillRandom(rand.New(rand.NewSource(42)), 1)
 
 	if noCompile {
+		if verify {
+			return fmt.Errorf("-verify needs a compiled program; drop -no-compile")
+		}
 		// Interpreter path: every run re-resolves schedules and re-lowers
 		// kernels through the stage executor.
 		if _, err := models.ForwardCtx(ctx, m, g, x, classes, eng); err != nil { // warm-up
@@ -159,6 +170,13 @@ func runModel(ctx context.Context, dataset, graphFile, name string, feat, classe
 		return err
 	}
 	compileTime := time.Since(compileStart)
+	if verify {
+		rep := cp.Verify()
+		printReport(rep)
+		if !rep.OK() {
+			return fmt.Errorf("verification failed: %d violations", len(rep.Diags))
+		}
+	}
 	if _, err := cp.RunCtx(ctx, x); err != nil { // warm-up
 		return err
 	}
@@ -197,7 +215,7 @@ func loadGraph(dataset, graphFile string) (*graph.Graph, error) {
 	}
 }
 
-func run(ctx context.Context, dataset, graphFile, opName string, feat int, gpuName, schedText string, tune bool, top int, source bool) error {
+func run(ctx context.Context, dataset, graphFile, opName string, feat int, gpuName, schedText string, tune bool, top int, source, verify bool) error {
 	g, err := loadGraph(dataset, graphFile)
 	if err != nil {
 		return err
@@ -235,6 +253,11 @@ func run(ctx context.Context, dataset, graphFile, opName string, feat int, gpuNa
 			return err
 		}
 		report("run:", c)
+		if verify {
+			if err := verifyPlanReport(entry.Info, sched); err != nil {
+				return err
+			}
+		}
 		if err := timeFunctional(ctx, g, entry.Info, feat, sched); err != nil {
 			return err
 		}
@@ -261,6 +284,11 @@ func run(ctx context.Context, dataset, graphFile, opName string, feat int, gpuNa
 	worst := cands[len(cands)-1]
 	fmt.Printf("worst %-11s cycles=%.0f (%.1fx the best)\n",
 		worst.Schedule, worst.Metrics.Cycles, worst.Metrics.Cycles/cands[0].Metrics.Cycles)
+	if verify {
+		if err := verifyPlanReport(entry.Info, cands[0].Schedule); err != nil {
+			return err
+		}
+	}
 	if err := timeFunctional(ctx, g, entry.Info, feat, cands[0].Schedule); err != nil {
 		return err
 	}
@@ -298,6 +326,47 @@ func timeFunctional(ctx context.Context, g *graph.Graph, op ops.OpInfo, feat int
 	c := kern.Counters()
 	fmt.Printf("functional: backend=%s workers=%d wall-clock=%v/run (host measurement; cycles above are simulated)\n",
 		backend.Name(), c.Workers, per.Round(time.Microsecond))
+	return nil
+}
+
+// printReport renders a program verification report: one line per rule
+// checked, then the violations (if any) with their fix hints.
+func printReport(rep analysis.Report) {
+	fmt.Printf("verification: %s: %d rules checked, %d violations\n",
+		rep.Subject, len(rep.RulesChecked), len(rep.Diags))
+	for _, r := range rep.RulesChecked {
+		fmt.Printf("  rule %s\n", r)
+	}
+	for _, d := range rep.Diags {
+		fmt.Printf("  VIOLATION %s\n", d)
+	}
+}
+
+// verifyPlanReport re-runs the plan-level verification for a single
+// (operator, schedule) pair and prints the outcome. core.Compile already ran
+// the same rules mandatorily; this surfaces them as an explicit report.
+func verifyPlanReport(op ops.OpInfo, sched core.Schedule) error {
+	plan, err := core.Compile(op, sched)
+	if err != nil {
+		var ve *analysis.VerifyError
+		if errors.As(err, &ve) {
+			for _, d := range ve.Diags {
+				fmt.Printf("  VIOLATION %s\n", d)
+			}
+		}
+		return err
+	}
+	err = analysis.VerifyPlan(analysis.PlanFacts{
+		Op:             plan.Op,
+		Schedule:       sched.Strategy.Code(),
+		VertexParallel: sched.Strategy.VertexParallel(),
+		NeedsAtomic:    plan.NeedsAtomic,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verification: plan %s %s: rules %v ok (needs_atomic=%v)\n",
+		op.Name, sched, analysis.PlanRules, plan.NeedsAtomic)
 	return nil
 }
 

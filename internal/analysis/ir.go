@@ -1,0 +1,153 @@
+package analysis
+
+import "repro/internal/ops"
+
+// The verifier's view of a program: a minimal mirror of the internal/program
+// IR carried in primitive types, so analysis can sit below program in the
+// import graph. internal/program adapts its *Program into this form (see
+// program/verify.go); corrupting passes mutate only this view, never the
+// real compile artifacts.
+
+// Rows mirrors program.RowsClass.
+type Rows uint8
+
+const (
+	// VertexRows marks a per-vertex value (|V| rows).
+	VertexRows Rows = iota
+	// EdgeRows marks a per-edge value (|E| rows).
+	EdgeRows
+)
+
+// String names the class.
+func (r Rows) String() string {
+	if r == EdgeRows {
+		return "edge"
+	}
+	return "vertex"
+}
+
+// NodeKind mirrors program.NodeOp. The verifier only needs to distinguish
+// the classes its rules treat differently; every other node kind maps to
+// KindOther.
+type NodeKind uint8
+
+const (
+	// KindOther is any dense/structural node (GEMM, concat, head-merge, ...).
+	KindOther NodeKind = iota
+	// KindInput is the program input node.
+	KindInput
+	// KindConst is a recorded constant (owns its storage; outside the plan).
+	KindConst
+	// KindUnary is an elementwise unary chain (legal in-place target).
+	KindUnary
+	// KindAddScaled is elementwise x + s*y (legal in-place target).
+	KindAddScaled
+	// KindGraph is a uGrapher graph operator.
+	KindGraph
+)
+
+var nodeKindNames = [...]string{"other", "input", "const", "unary", "add_scaled", "graph"}
+
+// String names the kind.
+func (k NodeKind) String() string {
+	if int(k) < len(nodeKindNames) {
+		return nodeKindNames[k]
+	}
+	return "?"
+}
+
+// Elementwise reports whether the node kind computes element i of its output
+// from element i of its operands only — the precondition for in-place
+// aliasing.
+func (k NodeKind) Elementwise() bool { return k == KindUnary || k == KindAddScaled }
+
+// NoValue marks an absent operand reference.
+const NoValue = -1
+
+// IRValue is one SSA value's shape.
+type IRValue struct {
+	Rows  Rows
+	Cols  int
+	Const bool
+}
+
+// IRNode is one operation of the DAG. X and Y are operand value ids
+// (NoValue when absent); Out is the defined value.
+type IRNode struct {
+	Name  string
+	Kind  NodeKind
+	X, Y  int
+	Out   int
+	// Op is the operator descriptor of KindGraph nodes.
+	Op ops.OpInfo
+	// Fused marks graph nodes the fusion pass created by merging a
+	// materialise+scatter pair of the pre-fusion program.
+	Fused bool
+}
+
+// ProgramIR is the verifier's view of one program: nodes in topological
+// order over an SSA value table.
+type ProgramIR struct {
+	Values        []IRValue
+	Nodes         []IRNode
+	Input, Output int
+}
+
+// BufferFacts is the verifier's view of a buffer plan for one graph size.
+type BufferFacts struct {
+	// Assign maps each value id to its arena slot (NoSlot for constants and
+	// values outside the plan).
+	Assign []int
+	// InPlace marks nodes that write into their X operand's slot.
+	InPlace []bool
+	// SlotFloats is each slot's capacity in float32 elements.
+	SlotFloats []int
+	// NumVertices and NumEdges size the planning graph.
+	NumVertices, NumEdges int
+}
+
+// NoSlot marks values without an arena slot.
+const NoSlot = -1
+
+// ProgramCheck bundles everything VerifyProgram inspects: the pre-fusion
+// program, the compiled (post-fusion, post-DCE) program, and the buffer
+// plan. Pre may be nil (fusion/DCE rules are skipped); Plan may be nil
+// (buffer rules are skipped).
+type ProgramCheck struct {
+	Subject string
+	Pre     *ProgramIR
+	Post    *ProgramIR
+	Plan    *BufferFacts
+}
+
+// VerifyProgram runs every program-level rule over c and returns a
+// *VerifyError listing all violations, or nil when the program verifies.
+func VerifyProgram(c ProgramCheck) error {
+	programsVerified.Add(1)
+	var diags []Diagnostic
+	if c.Post == nil {
+		diags = append(diags, Diagnostic{
+			Rule: RuleSSAForm, Msg: "no compiled program to verify",
+			Hint: "pass the post-fusion program as Post",
+		})
+		return finish(diags)
+	}
+	diags = append(diags, checkSSA(c.Post)...)
+	diags = append(diags, checkOperandTypes(c.Post)...)
+	if c.Pre != nil {
+		diags = append(diags, checkFusion(c.Pre, c.Post)...)
+	}
+	if c.Plan != nil {
+		diags = append(diags, checkBuffers(c.Post, c.Plan)...)
+	}
+	return finish(diags)
+}
+
+// finish counts violations and wraps them; nil when clean.
+func finish(diags []Diagnostic) error {
+	if len(diags) == 0 {
+		return nil
+	}
+	violationsFound.Add(int64(len(diags)))
+	return &VerifyError{Diags: diags}
+}

@@ -1,0 +1,597 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The source linter: a stdlib go/ast + go/types checker that mechanically
+// enforces the repo invariants DESIGN.md states in prose. Three rules:
+//
+//   - hook-discipline: internal/core and internal/program may call into
+//     telemetry/faultinject only through functions that are themselves a
+//     single armed-bit load when disabled, or under an explicit
+//     Enabled()/Armed() guard. Anything else would put work on the
+//     disabled hot path.
+//   - panic-justification: every panic() in non-test code must carry an
+//     adjacent comment containing the word "invariant" explaining why the
+//     condition is a bug, not an input (reachable conditions must be
+//     errors).
+//   - no-alloc-in-run: Run/RunCtx bodies of kernel types must not
+//     lexically allocate (make/new/append, non-deferred closures) — the
+//     zero-steady-state contract TestCompiledRunZeroAllocs asserts.
+//
+// Exemptions are explicit: `//lint:allow <rule> -- <reason>` on the
+// offending line or the line above. A directive without a reason is itself
+// a finding, so every suppression is justified in place.
+
+// Lint rule identifiers.
+const (
+	LintHookDiscipline     = "hook-discipline"
+	LintPanicJustification = "panic-justification"
+	LintNoAllocInRun       = "no-alloc-in-run"
+	LintDirective          = "lint-directive"
+)
+
+// LintRules lists the linter's rules.
+var LintRules = []string{LintHookDiscipline, LintPanicJustification, LintNoAllocInRun, LintDirective}
+
+// Finding is one linter hit.
+type Finding struct {
+	// File and Line locate the finding.
+	File string
+	Line int
+	// Rule is the violated rule id.
+	Rule string
+	// Msg states the violation and the fix.
+	Msg string
+}
+
+// String renders "file:line: rule: msg".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// hookPackages are the packages whose call sites hook-discipline audits,
+// mapping import path to the functions that are safe to call unguarded
+// (each is a single atomic load while disabled).
+var hookPackages = map[string]map[string]bool{
+	"repro/internal/telemetry": {
+		"Enabled":              true,
+		"StartSpan":            true,
+		"RecordScheduleChoice": true,
+		"CountProgramRun":      true,
+		"CountTrainerEpoch":    true,
+	},
+	"repro/internal/faultinject": {
+		"Enabled":    true,
+		"Armed":      true,
+		"Fire":       true,
+		"Fires":      true,
+		"Calls":      true,
+		"SpecOf":     true,
+		"MaybePanic": true,
+		"MaybeSleep": true,
+		"ErrIf":      true,
+	},
+}
+
+// hookDisciplinedDirs are the package directories (by path suffix) whose
+// hot paths the hook-discipline rule protects.
+var hookDisciplinedDirs = []string{"internal/core", "internal/program"}
+
+// kernelReceiver matches the receiver type names whose Run/RunCtx methods
+// the no-alloc rule audits.
+var kernelReceiver = regexp.MustCompile(`(?i)kernel$`)
+
+// allowDirective parses `//lint:allow <rule> -- <reason>`.
+var allowDirective = regexp.MustCompile(`^//lint:allow\s+([a-z-]+)\s*(?:--\s*(.*))?$`)
+
+// ExpandDirs resolves lint targets: a plain path names one package
+// directory; a path ending in /... walks for every directory containing
+// non-test .go files. Vendor, testdata and hidden directories are skipped.
+func ExpandDirs(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := pat, false
+		if strings.HasSuffix(pat, "/...") {
+			root, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LintDirs lints every directory as one package and returns all findings,
+// sorted by file and line.
+func LintDirs(dirs []string) ([]Finding, error) {
+	var all []Finding
+	for _, d := range dirs {
+		fs, err := LintDir(d)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		return all[i].Line < all[j].Line
+	})
+	return all, nil
+}
+
+// LintDir parses the non-test .go files of one package directory and lints
+// them.
+func LintDir(dir string) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return lintFiles(fset, files, dir), nil
+}
+
+// LintSource lints a single in-memory file (test hook).
+func LintSource(filename, src, dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return lintFiles(fset, []*ast.File{f}, dir), nil
+}
+
+// stubImporter satisfies go/types imports with empty marker packages: the
+// member lookups fail (and are ignored), but qualified identifiers still
+// resolve to *types.PkgName carrying the real import path, and builtins
+// like panic/make/append resolve shadow-safely.
+type stubImporter struct{ pkgs map[string]*types.Package }
+
+func (im *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	im.pkgs[path] = p
+	return p, nil
+}
+
+// lintFiles runs every rule over one package's files.
+func lintFiles(fset *token.FileSet, files []*ast.File, dir string) []Finding {
+	info := &types.Info{Uses: make(map[*ast.Ident]types.Object)}
+	conf := types.Config{
+		Importer:                 &stubImporter{pkgs: make(map[string]*types.Package)},
+		Error:                    func(error) {}, // stub imports cannot fully typecheck
+		DisableUnusedImportCheck: true,
+	}
+	// The (expected) errors from stub-package member lookups are discarded;
+	// Uses is still populated for package names and builtins.
+	_, _ = conf.Check(dir, fset, files, info)
+
+	hookScoped := false
+	for _, suffix := range hookDisciplinedDirs {
+		if strings.HasSuffix(filepath.ToSlash(filepath.Clean(dir)), suffix) {
+			hookScoped = true
+		}
+	}
+
+	var findings []Finding
+	for _, f := range files {
+		lf := &fileLinter{fset: fset, file: f, info: info, hookScoped: hookScoped}
+		lf.collectComments()
+		lf.run()
+		findings = append(findings, lf.findings...)
+	}
+	return findings
+}
+
+// fileLinter holds per-file lint state.
+type fileLinter struct {
+	fset       *token.FileSet
+	file       *ast.File
+	info       *types.Info
+	hookScoped bool
+
+	// allow maps "line:rule" to true for every //lint:allow directive
+	// (covering the directive's own line and the next).
+	allow map[string]bool
+	// comments maps each line to the comment text ending on it.
+	comments map[int]string
+	findings []Finding
+}
+
+func (lf *fileLinter) posLine(p token.Pos) int { return lf.fset.Position(p).Line }
+
+func (lf *fileLinter) report(p token.Pos, rule, msg string) {
+	pos := lf.fset.Position(p)
+	if lf.allow[fmt.Sprintf("%d:%s", pos.Line, rule)] {
+		return
+	}
+	lf.findings = append(lf.findings, Finding{File: pos.Filename, Line: pos.Line, Rule: rule, Msg: msg})
+}
+
+// collectComments indexes comment lines and //lint:allow directives.
+func (lf *fileLinter) collectComments() {
+	lf.allow = make(map[string]bool)
+	lf.comments = make(map[int]string)
+	for _, cg := range lf.file.Comments {
+		for _, c := range cg.List {
+			line := lf.posLine(c.End())
+			lf.comments[line] = c.Text
+			m := allowDirective.FindStringSubmatch(strings.TrimSpace(c.Text))
+			if m == nil {
+				continue
+			}
+			rule, reason := m[1], strings.TrimSpace(m[2])
+			if reason == "" {
+				lf.findings = append(lf.findings, Finding{
+					File: lf.fset.Position(c.Pos()).Filename, Line: lf.posLine(c.Pos()),
+					Rule: LintDirective,
+					Msg:  fmt.Sprintf("lint:allow %s needs a reason: write `//lint:allow %s -- <why>`", rule, rule),
+				})
+				continue
+			}
+			lf.allow[fmt.Sprintf("%d:%s", line, rule)] = true
+			lf.allow[fmt.Sprintf("%d:%s", line+1, rule)] = true
+		}
+	}
+}
+
+// run walks the file with an explicit ancestor path.
+func (lf *fileLinter) run() {
+	var path []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		path = append(path, n)
+		lf.checkNode(n, path)
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == nil || child == n {
+				return child == n
+			}
+			walk(child)
+			return false
+		})
+		path = path[:len(path)-1]
+	}
+	walk(lf.file)
+}
+
+// checkNode dispatches the per-node rules.
+func (lf *fileLinter) checkNode(n ast.Node, path []ast.Node) {
+	switch node := n.(type) {
+	case *ast.CallExpr:
+		lf.checkHookCall(node, path)
+		lf.checkPanic(node, path)
+	case *ast.FuncDecl:
+		lf.checkRunBody(node)
+	}
+}
+
+// pkgPathOf resolves a selector qualifier to its import path, or "".
+func (lf *fileLinter) pkgPathOf(id *ast.Ident) string {
+	if obj, ok := lf.info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return "" // resolved to a non-package object (shadowed)
+	}
+	// Fallback when typechecking failed: match the file's import names.
+	for _, imp := range lf.file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := p
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			name = p[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return p
+		}
+	}
+	return ""
+}
+
+// isBuiltin reports whether id resolves to the named builtin.
+func (lf *fileLinter) isBuiltin(id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	if obj, ok := lf.info.Uses[id]; ok {
+		_, builtin := obj.(*types.Builtin)
+		return builtin
+	}
+	return true // unresolved: assume the builtin
+}
+
+// checkHookCall enforces hook-discipline on qualified calls into the
+// telemetry/faultinject packages.
+func (lf *fileLinter) checkHookCall(call *ast.CallExpr, path []ast.Node) {
+	if !lf.hookScoped {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	qual, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgPath := lf.pkgPathOf(qual)
+	guarded, audited := hookPackages[pkgPath]
+	if !audited {
+		return
+	}
+	if guarded[sel.Sel.Name] {
+		return
+	}
+	if lf.underEnabledGuard(call, path) {
+		return
+	}
+	lf.report(call.Pos(), LintHookDiscipline,
+		fmt.Sprintf("%s.%s is not disarmed by a single atomic load; guard it with `if %s.Enabled()` or use a self-guarded hook",
+			qual.Name, sel.Sel.Name, qual.Name))
+}
+
+// isGuardCall reports whether e is a call to pkg.Enabled() or pkg.Armed(..)
+// for an audited hook package.
+func (lf *fileLinter) isGuardCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	qual, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, audited := hookPackages[lf.pkgPathOf(qual)]; !audited {
+		return false
+	}
+	return sel.Sel.Name == "Enabled" || sel.Sel.Name == "Armed"
+}
+
+// underEnabledGuard reports whether the call site is dominated by an
+// armed-bit guard: inside `if pkg.Enabled() { ... }` (positive form), or
+// preceded in its block by `if !pkg.Enabled() { return ... }` (early-exit
+// form).
+func (lf *fileLinter) underEnabledGuard(call *ast.CallExpr, path []ast.Node) bool {
+	for i := len(path) - 1; i >= 0; i-- {
+		ifStmt, ok := path[i].(*ast.IfStmt)
+		if ok && lf.isGuardCall(ifStmt.Cond) && i+1 < len(path) && path[i+1] == ifStmt.Body {
+			return true
+		}
+		block, ok := path[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		// Which child of the block contains the call?
+		var idx = -1
+		if i+1 < len(path) {
+			for j, st := range block.List {
+				if st == path[i+1] {
+					idx = j
+					break
+				}
+			}
+		}
+		for j := 0; j < idx; j++ {
+			prior, ok := block.List[j].(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			neg, ok := prior.Cond.(*ast.UnaryExpr)
+			if !ok || neg.Op != token.NOT || !lf.isGuardCall(neg.X) {
+				continue
+			}
+			if len(prior.Body.List) > 0 {
+				if _, ret := prior.Body.List[len(prior.Body.List)-1].(*ast.ReturnStmt); ret {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkPanic enforces panic-justification: the call must have a comment
+// containing "invariant" within the eight preceding lines (or on its own
+// line), or an enclosing function whose doc comment states the invariant.
+func (lf *fileLinter) checkPanic(call *ast.CallExpr, path []ast.Node) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || !lf.isBuiltin(id, "panic") {
+		return
+	}
+	line := lf.posLine(call.Pos())
+	for l := line - 8; l <= line; l++ {
+		if c, ok := lf.comments[l]; ok && strings.Contains(strings.ToLower(c), "invariant") {
+			return
+		}
+	}
+	for _, anc := range path {
+		fd, ok := anc.(*ast.FuncDecl)
+		if ok && fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "invariant") {
+			return
+		}
+	}
+	lf.report(call.Pos(), LintPanicJustification,
+		"panic without an adjacent `// invariant:` comment; justify why this is unreachable from input, or return an error")
+}
+
+// checkRunBody enforces no-alloc-in-run over Run/RunCtx methods of kernel
+// types: no make/new/append and no closures outside direct defer/go
+// statements, lexically, in the method body (callees are covered by their
+// own declarations or by the runtime zero-alloc test).
+func (lf *fileLinter) checkRunBody(fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Recv == nil || (fd.Name.Name != "Run" && fd.Name.Name != "RunCtx") {
+		return
+	}
+	recv := receiverTypeName(fd.Recv)
+	if !kernelReceiver.MatchString(recv) {
+		return
+	}
+	var path []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		path = append(path, n)
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok {
+				for _, b := range [...]string{"make", "new", "append"} {
+					if lf.isBuiltin(id, b) {
+						lf.report(node.Pos(), LintNoAllocInRun,
+							fmt.Sprintf("%s in %s.%s allocates on the hot path; hoist it to Lower time", b, recv, fd.Name.Name))
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if !directDeferOrGo(path) {
+				lf.report(node.Pos(), LintNoAllocInRun,
+					fmt.Sprintf("closure in %s.%s may capture and allocate per call; bind it at Lower time", recv, fd.Name.Name))
+			}
+		}
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == nil || child == n {
+				return child == n
+			}
+			walk(child)
+			return false
+		})
+		path = path[:len(path)-1]
+	}
+	walk(fd.Body)
+}
+
+// directDeferOrGo reports whether the path ends [... DeferStmt/GoStmt,
+// CallExpr, FuncLit]: a function literal invoked directly by defer or go,
+// which the compiler open-codes without a heap closure.
+func directDeferOrGo(path []ast.Node) bool {
+	n := len(path)
+	if n < 3 {
+		return false
+	}
+	call, ok := path[n-2].(*ast.CallExpr)
+	if !ok || call.Fun != path[n-1] {
+		return false
+	}
+	switch parent := path[n-3].(type) {
+	case *ast.DeferStmt:
+		return parent.Call == call
+	case *ast.GoStmt:
+		return parent.Call == call
+	}
+	return false
+}
+
+// receiverTypeName extracts the receiver's base type name.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

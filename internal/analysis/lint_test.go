@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// lintOne lints src as a single file in dir and returns the findings.
+func lintOne(t *testing.T, dir, src string) []Finding {
+	t.Helper()
+	fs, err := LintSource("test.go", src, dir)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	return fs
+}
+
+// wantFinding asserts exactly one finding with the given rule.
+func wantFinding(t *testing.T, fs []Finding, rule string) {
+	t.Helper()
+	var hits int
+	for _, f := range fs {
+		if f.Rule == rule {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("want exactly one %s finding, got %d in %v", rule, hits, fs)
+	}
+}
+
+func wantClean(t *testing.T, fs []Finding) {
+	t.Helper()
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
+func TestLintHookDiscipline(t *testing.T) {
+	const hdr = `package core
+import "repro/internal/telemetry"
+`
+	t.Run("unguarded call in audited dir", func(t *testing.T) {
+		fs := lintOne(t, "internal/core", hdr+`
+func f() { telemetry.RecordKernelRun() }
+`)
+		wantFinding(t, fs, LintHookDiscipline)
+	})
+	t.Run("same call outside audited dirs is fine", func(t *testing.T) {
+		fs := lintOne(t, "internal/models", hdr+`
+func f() { telemetry.RecordKernelRun() }
+`)
+		wantClean(t, fs)
+	})
+	t.Run("self-guarded hooks pass", func(t *testing.T) {
+		fs := lintOne(t, "internal/core", hdr+`
+func f() {
+	telemetry.CountProgramRun()
+	sp := telemetry.StartSpan("a", "b", "c")
+	_ = sp
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("positive guard passes", func(t *testing.T) {
+		fs := lintOne(t, "internal/core", hdr+`
+func f() {
+	if telemetry.Enabled() {
+		telemetry.RecordKernelRun()
+	}
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("early-exit guard passes", func(t *testing.T) {
+		fs := lintOne(t, "internal/core", hdr+`
+func f() {
+	if !telemetry.Enabled() {
+		return
+	}
+	telemetry.RecordKernelRun()
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("guard without return does not dominate", func(t *testing.T) {
+		fs := lintOne(t, "internal/core", hdr+`
+func f() {
+	if !telemetry.Enabled() {
+		_ = 0
+	}
+	telemetry.RecordKernelRun()
+}
+`)
+		wantFinding(t, fs, LintHookDiscipline)
+	})
+	t.Run("renamed import still audited", func(t *testing.T) {
+		fs := lintOne(t, "internal/program", `package program
+import tel "repro/internal/telemetry"
+
+func f() { tel.RecordKernelRun() }
+`)
+		wantFinding(t, fs, LintHookDiscipline)
+	})
+	t.Run("allow directive suppresses", func(t *testing.T) {
+		fs := lintOne(t, "internal/core", hdr+`
+func f() {
+	//lint:allow hook-discipline -- registration happens once at compile time
+	telemetry.RecordKernelRun()
+}
+`)
+		wantClean(t, fs)
+	})
+}
+
+func TestLintPanicJustification(t *testing.T) {
+	t.Run("bare panic flagged", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+func f() { panic("boom") }
+`)
+		wantFinding(t, fs, LintPanicJustification)
+	})
+	t.Run("adjacent invariant comment passes", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+func f(ok bool) {
+	if !ok {
+		// invariant: callers validated ok upstream.
+		panic("boom")
+	}
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("function doc invariant passes", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+// f panics on invariant violations only.
+func f() { panic("boom") }
+`)
+		wantClean(t, fs)
+	})
+	t.Run("comment too far above does not count", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+func f(a int) int {
+	// invariant: placeholder far from the panic.
+	a++
+	a++
+	a++
+	a++
+	a++
+	a++
+	a++
+	a++
+	a++
+	panic("boom")
+}
+`)
+		wantFinding(t, fs, LintPanicJustification)
+	})
+	t.Run("shadowed panic is not the builtin", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+func f() {
+	panic := func(string) {}
+	panic("fine")
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("allow directive suppresses", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+func f() {
+	//lint:allow panic-justification -- deliberate test crash
+	panic("boom")
+}
+`)
+		wantClean(t, fs)
+	})
+}
+
+func TestLintNoAllocInRun(t *testing.T) {
+	t.Run("make in kernel Run flagged", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+type fastKernel struct{}
+
+func (k *fastKernel) Run() {
+	_ = make([]float32, 8)
+}
+`)
+		wantFinding(t, fs, LintNoAllocInRun)
+	})
+	t.Run("append in RunCtx flagged", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+type fastKernel struct{ buf []int }
+
+func (k *fastKernel) RunCtx() {
+	k.buf = append(k.buf, 1)
+}
+`)
+		wantFinding(t, fs, LintNoAllocInRun)
+	})
+	t.Run("closure in Run flagged", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+type fastKernel struct{}
+
+func (k *fastKernel) Run(g func(func())) {
+	g(func() {})
+}
+`)
+		wantFinding(t, fs, LintNoAllocInRun)
+	})
+	t.Run("direct defer closure exempt", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+type fastKernel struct{ n int }
+
+func (k *fastKernel) Run() {
+	defer func() { k.n++ }()
+	k.n++
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("non-kernel receivers not audited", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+type builder struct{}
+
+func (b *builder) Run() {
+	_ = make([]float32, 8)
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("other methods of kernels not audited", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+type fastKernel struct{}
+
+func (k *fastKernel) Lower() {
+	_ = make([]float32, 8)
+}
+`)
+		wantClean(t, fs)
+	})
+}
+
+func TestLintDirective(t *testing.T) {
+	t.Run("directive without reason is a finding", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+func f() {
+	//lint:allow panic-justification
+	panic("boom")
+}
+`)
+		// The reasonless directive does not suppress, so both findings appear.
+		wantFinding(t, fs, LintDirective)
+		wantFinding(t, fs, LintPanicJustification)
+	})
+	t.Run("directive covers its own and the next line", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+func f() {
+	//lint:allow panic-justification -- reason here
+	panic("boom")
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("directive does not leak further down", func(t *testing.T) {
+		fs := lintOne(t, "internal/x", `package x
+
+func f(a int) {
+	//lint:allow panic-justification -- reason here
+	a++
+	a++
+	panic("boom")
+}
+`)
+		wantFinding(t, fs, LintPanicJustification)
+	})
+}
+
+// TestLintSelfModule lints the repo's own packages: the tree must stay clean
+// so make check can treat any finding as a regression.
+func TestLintSelfModule(t *testing.T) {
+	dirs, err := ExpandDirs([]string{"../../internal/...", "../../cmd/..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("expected to find the repo's packages, got %d dirs", len(dirs))
+	}
+	fs, err := LintDirs(dirs)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "a.go", Line: 3, Rule: LintNoAllocInRun, Msg: "make allocates"}
+	if got := f.String(); !strings.Contains(got, "a.go:3") || !strings.Contains(got, LintNoAllocInRun) {
+		t.Errorf("String() = %q", got)
+	}
+}

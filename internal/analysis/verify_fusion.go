@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Fusion-legality and DCE-soundness rules. The pass being checked
+// (program/fuse.go) rewrites the recorded two-kernel aggregation form into
+// fused single-kernel operators and then prunes dead nodes; these rules
+// re-derive, from the pre- and post-fusion programs alone, that every
+// rewrite was one the paper's §5.2 transformation permits and that nothing
+// live was dropped.
+
+// isMaterialise reports whether pre-program node n is the canonical
+// message-materialise half of a decomposed aggregation: a non-reducing
+// copy gather writing an edge tensor.
+func isMaterialise(n *IRNode) bool {
+	return n.Kind == KindGraph &&
+		n.Op.CKind == tensor.EdgeK &&
+		n.Op.GatherOp == ops.GatherCopyRHS
+}
+
+// isScatter reports whether pre-program node n is the canonical pure
+// scatter: forward the edge tensor and reduce per destination vertex.
+func isScatter(n *IRNode) bool {
+	return n.Kind == KindGraph &&
+		n.Op.EdgeOp == ops.CopyRHS &&
+		n.Op.GatherOp.IsReduction() &&
+		n.Op.AKind == tensor.Null &&
+		n.Op.BKind == tensor.EdgeK &&
+		n.Op.CKind == tensor.DstV
+}
+
+// checkFusion cross-checks the compiled program against the pre-fusion
+// program: fused nodes must correspond to legal materialise+scatter pairs,
+// unfused nodes must match their recorded originals, and every live
+// recorded node must be accounted for.
+func checkFusion(pre, post *ProgramIR) []Diagnostic {
+	var diags []Diagnostic
+
+	// Index the pre program: defining node per value, consumer counts, and
+	// liveness (backwards from the output; the input node is always kept).
+	preDef := make(map[int]int, len(pre.Nodes))
+	uses := make(map[int]int)
+	for i := range pre.Nodes {
+		n := &pre.Nodes[i]
+		preDef[n.Out] = i
+		if n.X != NoValue {
+			uses[n.X]++
+		}
+		if n.Y != NoValue {
+			uses[n.Y]++
+		}
+	}
+	liveVal := make(map[int]bool, len(pre.Values))
+	liveVal[pre.Output] = true
+	liveNode := make([]bool, len(pre.Nodes))
+	for i := len(pre.Nodes) - 1; i >= 0; i-- {
+		n := &pre.Nodes[i]
+		if !liveVal[n.Out] && n.Kind != KindInput {
+			continue
+		}
+		liveNode[i] = true
+		if n.X != NoValue {
+			liveVal[n.X] = true
+		}
+		if n.Y != NoValue {
+			liveVal[n.Y] = true
+		}
+	}
+
+	accounted := make([]bool, len(pre.Nodes))
+	for pi := range post.Nodes {
+		n := &post.Nodes[pi]
+		if n.Fused {
+			diags = append(diags, checkFusedPair(pre, n, preDef, uses, accounted)...)
+			continue
+		}
+		// Unfused nodes must be byte-identical to the recorded node defining
+		// the same value; anything else is a rewrite the fusion pass does not
+		// perform (or a fused node that lost its marker).
+		i, ok := preDef[n.Out]
+		if !ok {
+			diags = append(diags, Diagnostic{
+				Rule: RuleDCESoundness, Node: n.Name, Values: []int{n.Out},
+				Msg:  fmt.Sprintf("compiled node defines value %d that no recorded node defines", n.Out),
+				Hint: "compilation must not invent values",
+			})
+			continue
+		}
+		o := &pre.Nodes[i]
+		if o.Kind != n.Kind || o.X != n.X || o.Y != n.Y ||
+			(n.Kind == KindGraph && o.Op != n.Op) {
+			diags = append(diags, Diagnostic{
+				Rule: RuleFusionPair, Node: n.Name, Values: []int{n.Out},
+				Msg:  fmt.Sprintf("compiled node (%s %s) differs from recorded node (%s %s) without a fusion marker", n.Kind, n.Op, o.Kind, o.Op),
+				Hint: "only marked materialise+scatter merges may rewrite a node",
+			})
+		}
+		accounted[i] = true
+	}
+
+	// DCE soundness: every node live in the recorded program must survive,
+	// either verbatim or folded into a fused pair.
+	for i := range pre.Nodes {
+		if liveNode[i] && !accounted[i] {
+			n := &pre.Nodes[i]
+			diags = append(diags, Diagnostic{
+				Rule: RuleDCESoundness, Node: n.Name, Values: []int{n.Out},
+				Msg:  fmt.Sprintf("recorded node is live (value %d reaches the output) but missing from the compiled program", n.Out),
+				Hint: "dead-code elimination may only drop nodes the output cannot reach",
+			})
+		}
+	}
+	return diags
+}
+
+// checkFusedPair verifies one fused node against the recorded pair it
+// claims to merge, marking both recorded nodes accounted.
+func checkFusedPair(pre *ProgramIR, n *IRNode, preDef map[int]int, uses map[int]int, accounted []bool) []Diagnostic {
+	var diags []Diagnostic
+	pair := func(msg, hint string) {
+		diags = append(diags, Diagnostic{Rule: RuleFusionPair, Node: n.Name, Values: []int{n.Out}, Msg: msg, Hint: hint})
+	}
+	si, ok := preDef[n.Out]
+	if !ok {
+		pair(fmt.Sprintf("fused node defines value %d that no recorded node defines", n.Out),
+			"a fused node must take over a recorded scatter's output")
+		return diags
+	}
+	scat := &pre.Nodes[si]
+	accounted[si] = true
+	if !isScatter(scat) {
+		pair(fmt.Sprintf("recorded node defining value %d is not a canonical scatter (%s)", n.Out, scat.Op),
+			"only copy_rhs->reduce->Dst_V scatters may be fused")
+		return diags
+	}
+	mi, ok := preDef[scat.Y]
+	if !ok {
+		pair(fmt.Sprintf("scatter input value %d has no recorded definition", scat.Y),
+			"the fused pair's intermediate must be a recorded value")
+		return diags
+	}
+	mat := &pre.Nodes[mi]
+	accounted[mi] = true
+	if !isMaterialise(mat) {
+		pair(fmt.Sprintf("scatter input is not a canonical materialise (%s)", mat.Op),
+			"only edge-tensor copy-gather materialises may be fused")
+		return diags
+	}
+
+	// Single-consumer rule: merging is only legal when the |E| x F
+	// intermediate has exactly one reader and is not itself the program
+	// output — otherwise the fused kernel erases a value something else
+	// needs.
+	if uses[mat.Out] != 1 || mat.Out == pre.Output {
+		what := fmt.Sprintf("%d consumers", uses[mat.Out])
+		if mat.Out == pre.Output {
+			what = "the program output"
+		}
+		diags = append(diags, Diagnostic{
+			Rule: RuleFusionSingleConsumer, Node: n.Name, Values: []int{mat.Out},
+			Msg:  fmt.Sprintf("fusion erased intermediate value %d which is %s", mat.Out, what),
+			Hint: "fuse only single-consumer materialise+scatter pairs",
+		})
+	}
+
+	// Merge consistency: the fused operator must read the materialise's
+	// operands and combine its edge op with the scatter's reduction.
+	want := ops.OpInfo{
+		EdgeOp:   mat.Op.EdgeOp,
+		GatherOp: scat.Op.GatherOp,
+		AKind:    mat.Op.AKind,
+		BKind:    mat.Op.BKind,
+		CKind:    tensor.DstV,
+	}
+	if n.Kind != KindGraph || n.Op != want || n.X != mat.X || n.Y != mat.Y {
+		pair(fmt.Sprintf("fused operator %s over values (%d,%d) does not merge the pair %s + %s over (%d,%d)",
+			n.Op, n.X, n.Y, mat.Op, scat.Op, mat.X, mat.Y),
+			"the fused op must be edge_op(mat) + gather_op(scat) over the materialise's operands")
+	}
+	return diags
+}

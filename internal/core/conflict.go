@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/tensor"
+)
+
+// ConflictReporter is implemented by lowered kernels that can declare which
+// write-conflict discipline their Run path uses, so the static verifier
+// (internal/analysis) can cross-check the backend's actual lowering against
+// the re-derived atomic-need analysis instead of trusting the plan bit.
+// The vocabulary is the analysis.Conflict* constants.
+type ConflictReporter interface {
+	// ConflictHandling names the discipline the lowered Run path uses.
+	ConflictHandling() string
+}
+
+// ConflictHandling implements ConflictReporter: the reference interpreter
+// walks edges on a single goroutine, so there is never a second writer.
+func (k *refKernel) ConflictHandling() string { return analysis.ConflictSequential }
+
+// ConflictHandling implements ConflictReporter, mirroring the RunCtx
+// routing: message creation writes per-edge rows, vertex-parallel
+// aggregation gives each output row one owning worker, and edge-parallel
+// aggregation reduces into per-worker private partial buffers merged
+// deterministically afterwards.
+func (k *parallelKernel) ConflictHandling() string {
+	switch {
+	case k.p.Op.CKind == tensor.EdgeK:
+		return analysis.ConflictPerEdgeRows
+	case k.p.Schedule.Strategy.VertexParallel():
+		return analysis.ConflictOwnerPerRow
+	default:
+		return analysis.ConflictPrivatePartials
+	}
+}
+
+// ConflictHandling implements ConflictReporter: the functional output comes
+// from the wrapped compute kernel, so the discipline is whatever that
+// kernel declares (the simulation replay writes no operand data).
+func (k *simKernel) ConflictHandling() string {
+	if cr, ok := k.compute.(ConflictReporter); ok {
+		return cr.ConflictHandling()
+	}
+	return analysis.ConflictSequential
+}
+
+// ConflictHandling implements ConflictReporter by delegating to the primary
+// kernel; the fallback path re-lowers on the reference backend, which is
+// sequential and therefore never less safe.
+func (k *resilientKernel) ConflictHandling() string {
+	if cr, ok := k.primary.(ConflictReporter); ok {
+		return cr.ConflictHandling()
+	}
+	return analysis.ConflictSequential
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/analysis"
+	"repro/internal/faultinject"
 	"repro/internal/ops"
 	"repro/internal/tensor"
 )
@@ -56,6 +58,24 @@ func Compile(op ops.OpInfo, sched Schedule) (*Plan, error) {
 	// destinations whenever the gather reduces into a vertex tensor.
 	p.NeedsAtomic = op.CKind == tensor.DstV && !sched.Strategy.VertexParallel()
 
+	// Mandatory static verification: the analysis layer re-derives the
+	// Table-4 typing and the atomic-need bit independently and rejects any
+	// disagreement. The fault-injection point corrupts only the verified
+	// view (a local copy of the bit), never the plan itself, so tests can
+	// prove the write-conflict rule fires without shipping a broken plan.
+	needs := p.NeedsAtomic
+	if faultinject.Fire(faultinject.CorruptAtomicFlag) {
+		needs = !needs
+	}
+	if err := analysis.VerifyPlan(analysis.PlanFacts{
+		Op:             op,
+		Schedule:       sched.Strategy.Code(),
+		VertexParallel: sched.Strategy.VertexParallel(),
+		NeedsAtomic:    needs,
+	}); err != nil {
+		return nil, err
+	}
+
 	// Instruction estimate per innermost element step: operand address math
 	// and loads plus the stage arithmetic; fusion saves the intermediate
 	// register traffic.
@@ -87,6 +107,8 @@ func Compile(op ops.OpInfo, sched Schedule) (*Plan, error) {
 func MustCompile(op ops.OpInfo, sched Schedule) *Plan {
 	p, err := Compile(op, sched)
 	if err != nil {
+		// invariant: callers pass literal descriptors known valid at review
+		// time; a failure here is a bug in the literal, not a data condition.
 		panic(err)
 	}
 	return p

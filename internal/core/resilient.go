@@ -73,6 +73,7 @@ func (b *ResilientBackend) logf(format string, args ...any) {
 // "resilient" track), and emits a one-line warning the first time the ladder
 // fires — the signal that the fast path is misbehaving.
 func (b *ResilientBackend) countFallback(op string) {
+	//lint:allow hook-discipline -- fallbacks must be counted even with telemetry disabled; this is a cold error path
 	telemetry.RecordFallback(op, b.primary.Name(), b.secondary.Name())
 	if b.fallbacks.Add(1) == 1 {
 		b.logf("warning: first fallback from %s to %s — the primary backend is failing kernels; rerun with -trace/-metrics for details",

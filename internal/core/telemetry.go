@@ -16,6 +16,7 @@ import (
 // kernelSite builds the instrumentation handle one lowered kernel records
 // through.
 func kernelSite(p *Plan, backendName string, g *graph.Graph) *telemetry.KernelSite {
+	//lint:allow hook-discipline -- site registration happens once at Lower time, off the Run hot path
 	return telemetry.NewKernelSite(
 		opLabel(p), p.Schedule.Strategy.Code(), p.Schedule.String(), backendName,
 		int64(g.NumVertices()), int64(g.NumEdges()))

@@ -105,7 +105,8 @@ func (s Spec) Generate() *graph.Graph {
 	}
 	g, err := b.Build()
 	if err != nil {
-		// Generator bugs only; inputs are internal.
+		// invariant: generator bugs only; every edge endpoint above is drawn
+		// from [0, s.V), so Build cannot reject internal inputs.
 		panic(fmt.Sprintf("datasets: generate %s: %v", s.Name, err))
 	}
 	return g
@@ -197,6 +198,8 @@ func Load(abbr string) (*graph.Graph, Spec, error) {
 func MustLoad(abbr string) (*graph.Graph, Spec) {
 	g, s, err := Load(abbr)
 	if err != nil {
+		// invariant: only for literal dataset codes in tests and examples;
+		// user-supplied codes go through Load and handle the error.
 		panic(err)
 	}
 	return g, s

@@ -38,11 +38,35 @@ const (
 	SlowChunk
 	// LowerFail makes backend plan lowering return an injected error.
 	LowerFail
+	// CorruptOperandKind corrupts the typing of the view the static verifier
+	// checks, proving the operand-type rules fire. The armed Spec's Seed
+	// selects the variant: 0 flips a graph operand's addressing class
+	// (operand-type), 1 points a node at a value outside the table
+	// (ssa-form).
+	CorruptOperandKind
+	// CorruptFusion mislabels a fusion decision in the verified IR, proving
+	// the fusion-legality rules fire. Seed selects the variant: 0 toggles a
+	// Fused marker (fusion-pair), 1 declares a fused intermediate to be the
+	// program output (fusion-single-consumer), 2 drops a live node from the
+	// compiled view (dce-soundness).
+	CorruptFusion
+	// CorruptBufferPlan corrupts the verified buffer plan, proving the
+	// buffer rules fire. Seed selects the variant: 0 aliases two
+	// simultaneously-live values onto one arena slot (buffer-alias), 1
+	// shrinks a slot below its hosted value (buffer-capacity), 2 marks a
+	// non-elementwise node in-place (inplace-elementwise).
+	CorruptBufferPlan
+	// CorruptAtomicFlag flips the plan's atomic-need bit in the verified
+	// facts, proving the write-conflict rule fires.
+	CorruptAtomicFlag
 
 	numPoints
 )
 
-var pointNames = [numPoints]string{"kernel-panic", "nan-poke", "slow-chunk", "lower-fail"}
+var pointNames = [numPoints]string{
+	"kernel-panic", "nan-poke", "slow-chunk", "lower-fail",
+	"corrupt-operand-kind", "corrupt-fusion", "corrupt-buffer-plan", "corrupt-atomic-flag",
+}
 
 // String names the point.
 func (p Point) String() string {
@@ -193,6 +217,15 @@ func (st *pointState) fire() (bool, int64) {
 	return hit, call
 }
 
+// SpecOf returns the Spec p was last armed with (the zero Spec after
+// Reset). The plan-corruption points read their variant selector from it.
+func SpecOf(p Point) Spec {
+	st := &states[p]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.spec
+}
+
 // Calls reports how many times p's hook has been evaluated since arming.
 func Calls(p Point) int64 {
 	st := &states[p]
@@ -215,6 +248,7 @@ func MaybePanic(p Point) {
 		return
 	}
 	if fired, call := states[p].fire(); fired {
+		//lint:allow panic-justification -- deliberate fault injection: the armed test asked for this panic
 		panic(Panic{Point: p, Call: call})
 	}
 }

@@ -196,7 +196,8 @@ func (g *Graph) Reverse() *Graph {
 	}
 	rg, err := FromCOO(g.NumVertices(), src, dst)
 	if err != nil {
-		// Impossible: endpoints come from a validated graph.
+		// invariant: endpoints come from an already-validated graph, so
+		// FromCOO cannot reject them.
 		panic(err)
 	}
 	return rg

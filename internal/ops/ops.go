@@ -66,6 +66,9 @@ func (op EdgeOp) Apply(a, b float32) float32 {
 	case EdgeDiv:
 		return a / b
 	default:
+		// invariant: ops reaching Apply passed OpInfo.Validate, which rejects
+		// undefined edge ops; an unknown value here is memory corruption or a
+		// missed case in this switch.
 		panic(fmt.Sprintf("ops: invalid edge op %d", op))
 	}
 }
@@ -138,6 +141,8 @@ func (op GatherOp) Identity() float32 {
 	case GatherMin:
 		return float32(math.Inf(1))
 	default:
+		// invariant: executors call Identity only after IsReduction()
+		// returned true, and every reduction op has a case above.
 		panic(fmt.Sprintf("ops: %s has no identity", op))
 	}
 }
@@ -162,6 +167,8 @@ func (op GatherOp) Combine(acc, v float32) float32 {
 	case GatherCopyLHS:
 		return acc
 	default:
+		// invariant: ops reaching Combine passed OpInfo.Validate, which
+		// rejects undefined gather ops.
 		panic(fmt.Sprintf("ops: invalid gather op %d", op))
 	}
 }

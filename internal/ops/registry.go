@@ -66,6 +66,8 @@ func operandKind(letter byte) tensor.Kind {
 	case 'e':
 		return tensor.EdgeK
 	default:
+		// invariant: letters come from the literal u/v/e loops in
+		// registerAll below, never from parsed input.
 		panic(fmt.Sprintf("ops: bad operand letter %q", letter))
 	}
 }

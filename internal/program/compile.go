@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/graph"
@@ -81,6 +82,7 @@ type step struct {
 // and backend. Run may be called repeatedly; it is not safe for concurrent
 // use (all intermediates live in one shared arena).
 type CompiledProgram struct {
+	pre    *Program // recorded program, kept for re-verification
 	prog   *Program
 	g      *graph.Graph
 	plan   *BufferPlan
@@ -126,6 +128,14 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 	stats.PeakLive = plan.PeakLive
 	stats.ArenaFloats = plan.TotalFloats
 
+	// Mandatory static verification (internal/analysis): SSA form, Table-4
+	// operand typing, fusion legality against the recorded program, and
+	// buffer-plan alias safety. A violation aborts compilation — an illegal
+	// plan is never lowered.
+	if err := verifyCompilation(p, work, plan, numV, numE); err != nil {
+		return nil, fmt.Errorf("program: %s: %w", work.Model, err)
+	}
+
 	// Carve one arena view per planned value; constants keep their own
 	// recorded storage.
 	arena := tensor.NewArena(plan.TotalFloats)
@@ -147,7 +157,7 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 	}
 
 	cp = &CompiledProgram{
-		prog: work, g: g, plan: plan, arena: arena,
+		pre: p, prog: work, g: g, plan: plan, arena: arena,
 		input:  views[work.Input],
 		output: views[work.Output],
 		steps:  make([]step, 0, len(work.Nodes)),
@@ -201,6 +211,13 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 			cp.scheds = append(cp.scheds, ScheduledOp{Name: n.Name, Op: op, Schedule: sched})
 		}
 		cp.steps = append(cp.steps, st)
+	}
+
+	// Cross-check what the backend actually lowered: each kernel's declared
+	// write-conflict discipline must satisfy the re-derived atomic-need
+	// analysis for its (operator, strategy) pair.
+	if diags := verifyStepLowerings(cp); len(diags) > 0 {
+		return nil, fmt.Errorf("program: %s: %w", work.Model, &analysis.VerifyError{Diags: diags})
 	}
 	return cp, nil
 }

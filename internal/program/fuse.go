@@ -75,11 +75,12 @@ func Fuse(p *Program) (*Program, int) {
 				break
 			}
 			merged := Node{
-				Op:   OpGraph,
-				Name: mergedName(mat.Name, scat.Name),
-				X:    mat.X,
-				Y:    mat.Y,
-				Out:  scat.Out,
+				Op:    OpGraph,
+				Name:  mergedName(mat.Name, scat.Name),
+				X:     mat.X,
+				Y:     mat.Y,
+				Out:   scat.Out,
+				Fused: true,
 				GOp: ops.OpInfo{
 					EdgeOp:   mat.GOp.EdgeOp,
 					GatherOp: scat.GOp.GatherOp,

@@ -145,6 +145,10 @@ type Node struct {
 	GOp ops.OpInfo
 	// Const is the payload of OpConst nodes.
 	Const *tensor.Dense
+	// Fused marks graph nodes the fusion pass created by merging a
+	// materialise+scatter pair; the static verifier uses it to match each
+	// fused operator back to the recorded pair it replaced.
+	Fused bool
 }
 
 // Program is a recorded model forward pass: nodes in topological (recording)

@@ -1,0 +1,275 @@
+package program
+
+import (
+	"errors"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/tensor"
+)
+
+// The bridge to the static verifier: Compile hands the analysis layer its
+// own view of the pre-fusion program, the compiled program and the buffer
+// plan, and aborts on any violation. The faultinject corruption points
+// mutate ONLY that view (freshly copied slices), never the real compile
+// artifacts — so the fault-injection suite can prove every rule fires while
+// a corrupted compilation still fails safely.
+
+// kindOf maps a NodeOp to the verifier's coarser node classification.
+func kindOf(op NodeOp) analysis.NodeKind {
+	switch op {
+	case OpInput:
+		return analysis.KindInput
+	case OpConst:
+		return analysis.KindConst
+	case OpUnary:
+		return analysis.KindUnary
+	case OpAddScaled:
+		return analysis.KindAddScaled
+	case OpGraph:
+		return analysis.KindGraph
+	default:
+		return analysis.KindOther
+	}
+}
+
+// irOf converts a Program into the verifier's exchange form. The slices are
+// fresh, so corruption passes may mutate them freely.
+func irOf(p *Program) *analysis.ProgramIR {
+	ir := &analysis.ProgramIR{
+		Values: make([]analysis.IRValue, len(p.Values)),
+		Nodes:  make([]analysis.IRNode, len(p.Nodes)),
+		Input:  int(p.Input),
+		Output: int(p.Output),
+	}
+	for i, v := range p.Values {
+		rows := analysis.VertexRows
+		if v.Rows == EdgeRows {
+			rows = analysis.EdgeRows
+		}
+		ir.Values[i] = analysis.IRValue{Rows: rows, Cols: v.Cols, Const: v.Const}
+	}
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		ir.Nodes[i] = analysis.IRNode{
+			Name: n.Name, Kind: kindOf(n.Op),
+			X: int(n.X), Y: int(n.Y), Out: int(n.Out),
+			Op: n.GOp, Fused: n.Fused,
+		}
+	}
+	return ir
+}
+
+// factsOf converts a buffer plan into the verifier's exchange form, copying
+// the plan slices so corruption never reaches the real plan.
+func factsOf(plan *BufferPlan, numV, numE int) *analysis.BufferFacts {
+	return &analysis.BufferFacts{
+		Assign:      append([]int(nil), plan.Assign...),
+		InPlace:     append([]bool(nil), plan.InPlace...),
+		SlotFloats:  append([]int(nil), plan.SlotFloats...),
+		NumVertices: numV,
+		NumEdges:    numE,
+	}
+}
+
+// verifyCompilation runs the mandatory program-level verification for one
+// compilation: pre is the recorded program, post the fused+pruned one.
+func verifyCompilation(pre, post *Program, plan *BufferPlan, numV, numE int) error {
+	c := analysis.ProgramCheck{
+		Subject: post.Model,
+		Pre:     irOf(pre),
+		Post:    irOf(post),
+		Plan:    factsOf(plan, numV, numE),
+	}
+	corruptCheck(&c)
+	return analysis.VerifyProgram(c)
+}
+
+// verifyStepLowerings cross-checks each lowered graph kernel's declared
+// write-conflict discipline against the re-derived analysis, collecting
+// diagnostics instead of failing fast (used by both Compile and Verify).
+func verifyStepLowerings(cp *CompiledProgram) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for i := range cp.steps {
+		st := &cp.steps[i]
+		if st.kern == nil {
+			continue
+		}
+		cr, ok := st.kern.(core.ConflictReporter)
+		if !ok {
+			continue
+		}
+		p := st.kern.Plan()
+		err := analysis.VerifyLowering(analysis.PlanFacts{
+			Op:             p.Op,
+			Schedule:       p.Schedule.Strategy.Code(),
+			VertexParallel: p.Schedule.Strategy.VertexParallel(),
+			NeedsAtomic:    p.NeedsAtomic,
+		}, cr.ConflictHandling())
+		var ve *analysis.VerifyError
+		if errors.As(err, &ve) {
+			diags = append(diags, ve.Diags...)
+		}
+	}
+	return diags
+}
+
+// Verify re-runs the full static analysis over the compiled program — the
+// program-level rules plus the per-kernel lowering cross-check — and
+// returns a structured report. Compilation already ran the same checks and
+// failed on violations, so a clean compile reports clean here unless a
+// corruption point is armed.
+func (cp *CompiledProgram) Verify() analysis.Report {
+	rep := analysis.Report{
+		Subject:      cp.prog.Model,
+		RulesChecked: append(append([]string(nil), analysis.ProgramRules...), analysis.RuleWriteConflict),
+	}
+	err := verifyCompilation(cp.pre, cp.prog, cp.plan, cp.g.NumVertices(), cp.g.NumEdges())
+	var ve *analysis.VerifyError
+	if errors.As(err, &ve) {
+		rep.Diags = append(rep.Diags, ve.Diags...)
+	}
+	rep.Diags = append(rep.Diags, verifyStepLowerings(cp)...)
+	return rep
+}
+
+// corruptCheck applies any armed plan-corruption faults to the verifier's
+// view. Each point's Spec.Seed selects the corrupted rule variant (see the
+// faultinject.Corrupt* docs).
+func corruptCheck(c *analysis.ProgramCheck) {
+	if faultinject.Fire(faultinject.CorruptOperandKind) {
+		corruptOperand(c, faultinject.SpecOf(faultinject.CorruptOperandKind).Seed)
+	}
+	if faultinject.Fire(faultinject.CorruptFusion) {
+		corruptFusion(c, faultinject.SpecOf(faultinject.CorruptFusion).Seed)
+	}
+	if faultinject.Fire(faultinject.CorruptBufferPlan) {
+		corruptBuffers(c, faultinject.SpecOf(faultinject.CorruptBufferPlan).Seed)
+	}
+}
+
+// firstGraphNode returns the index of the first graph node in ir, or -1.
+func firstGraphNode(ir *analysis.ProgramIR) int {
+	for i := range ir.Nodes {
+		if ir.Nodes[i].Kind == analysis.KindGraph {
+			return i
+		}
+	}
+	return -1
+}
+
+// corruptOperand corrupts the compiled view's typing. Seed 0 flips a graph
+// operand's addressing class; seed 1 points a node outside the value table.
+func corruptOperand(c *analysis.ProgramCheck, seed uint64) {
+	i := firstGraphNode(c.Post)
+	if i < 0 {
+		return
+	}
+	n := &c.Post.Nodes[i]
+	if seed == 1 {
+		n.Out = len(c.Post.Values) + 7
+		return
+	}
+	flip := func(k tensor.Kind) tensor.Kind {
+		if k == tensor.EdgeK {
+			return tensor.SrcV
+		}
+		return tensor.EdgeK
+	}
+	if n.Op.AKind != tensor.Null {
+		n.Op.AKind = flip(n.Op.AKind)
+	} else {
+		n.Op.BKind = flip(n.Op.BKind)
+	}
+}
+
+// corruptFusion corrupts the fusion bookkeeping. Seed 0 toggles a Fused
+// marker; seed 1 declares a fused intermediate to be the program output;
+// seed 2 drops a live node from the compiled view.
+func corruptFusion(c *analysis.ProgramCheck, seed uint64) {
+	switch seed {
+	case 1:
+		if c.Pre == nil {
+			return
+		}
+		for i := range c.Post.Nodes {
+			if !c.Post.Nodes[i].Fused {
+				continue
+			}
+			// The pre node defining the fused output is the scatter; its Y
+			// operand is the erased intermediate.
+			for j := range c.Pre.Nodes {
+				if c.Pre.Nodes[j].Out == c.Post.Nodes[i].Out {
+					c.Pre.Output = c.Pre.Nodes[j].Y
+					return
+				}
+			}
+		}
+	case 2:
+		i := firstGraphNode(c.Post)
+		if i < 0 {
+			return
+		}
+		c.Post.Nodes = append(c.Post.Nodes[:i:i], c.Post.Nodes[i+1:]...)
+		if c.Plan != nil && i < len(c.Plan.InPlace) {
+			c.Plan.InPlace = append(c.Plan.InPlace[:i:i], c.Plan.InPlace[i+1:]...)
+		}
+	default:
+		for i := range c.Post.Nodes {
+			if c.Post.Nodes[i].Fused {
+				c.Post.Nodes[i].Fused = false
+				return
+			}
+		}
+		for i := range c.Post.Nodes {
+			n := &c.Post.Nodes[i]
+			if n.Kind == analysis.KindGraph && n.Op.CKind == tensor.DstV {
+				n.Fused = true
+				return
+			}
+		}
+	}
+}
+
+// corruptBuffers corrupts the verified buffer plan. Seed 0 aliases a
+// node's output onto a live operand's slot; seed 1 shrinks the output
+// value's slot; seed 2 marks a non-elementwise node in-place.
+func corruptBuffers(c *analysis.ProgramCheck, seed uint64) {
+	if c.Plan == nil {
+		return
+	}
+	switch seed {
+	case 1:
+		out := c.Post.Output
+		if out >= 0 && out < len(c.Plan.Assign) {
+			if s := c.Plan.Assign[out]; s >= 0 && s < len(c.Plan.SlotFloats) {
+				c.Plan.SlotFloats[s] = 0
+			}
+		}
+	case 2:
+		for i := range c.Post.Nodes {
+			n := &c.Post.Nodes[i]
+			if !n.Kind.Elementwise() && n.Kind != analysis.KindConst && n.Kind != analysis.KindInput &&
+				n.X != analysis.NoValue && i < len(c.Plan.InPlace) {
+				c.Plan.InPlace[i] = true
+				return
+			}
+		}
+	default:
+		for i := range c.Post.Nodes {
+			n := &c.Post.Nodes[i]
+			if n.Kind.Elementwise() || n.X == analysis.NoValue {
+				continue
+			}
+			if n.X >= len(c.Plan.Assign) || n.Out >= len(c.Plan.Assign) {
+				continue
+			}
+			sx, so := c.Plan.Assign[n.X], c.Plan.Assign[n.Out]
+			if sx >= 0 && so >= 0 && sx != so {
+				c.Plan.Assign[n.Out] = sx
+				return
+			}
+		}
+	}
+}

@@ -18,8 +18,8 @@ import (
 // limp past. User-reachable shape problems are caught earlier, as errors,
 // by core's operand validation.
 
-// MatMul returns a @ b for a: m×k, b: k×n. It panics on shape mismatch —
-// shapes are programmer-controlled, not data-dependent.
+// MatMul returns a @ b for a: m×k, b: k×n. It panics on shape mismatch — an
+// invariant violation (shapes are programmer-controlled, not data-dependent).
 func MatMul(a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -44,7 +44,8 @@ func MatMul(a, b *Dense) *Dense {
 
 // MatMulInto computes out = a @ b without allocating, for a: m×k, b: k×n,
 // out: m×n. out must not alias a or b. The inner loop mirrors MatMul exactly
-// (including the zero-skip) so both produce bit-identical results.
+// (including the zero-skip) so both produce bit-identical results. Shape
+// mismatch is an invariant panic (see the file header).
 func MatMulInto(out, a, b *Dense) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -70,7 +71,8 @@ func MatMulInto(out, a, b *Dense) {
 }
 
 // AddScaledInto computes out = a + s*b element-wise without allocating.
-// out may alias a (each element is read before it is written).
+// out may alias a (each element is read before it is written). Shape
+// mismatch is an invariant panic (see the file header).
 func AddScaledInto(out, a, b *Dense, s float32) {
 	if a.Rows != b.Rows || a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != a.Cols {
 		panic("tensor: add-scaled shape mismatch")
@@ -81,7 +83,8 @@ func AddScaledInto(out, a, b *Dense, s float32) {
 }
 
 // ConcatInto writes the column-wise concatenation [a | b] into out without
-// allocating. out must not alias a or b.
+// allocating. out must not alias a or b. Shape mismatch is an invariant
+// panic (see the file header).
 func ConcatInto(out, a, b *Dense) {
 	if a.Rows != b.Rows || out.Rows != a.Rows || out.Cols != a.Cols+b.Cols {
 		panic("tensor: concat shape mismatch")
@@ -95,7 +98,7 @@ func ConcatInto(out, a, b *Dense) {
 // RowMeanInto writes each row's mean of t into the n×1 tensor out without
 // allocating (sum first, then one multiply by 1/cols — the order GAT's
 // head-merge uses, so results match the interpreter bit for bit). out must
-// not alias t.
+// not alias t. Shape mismatch is an invariant panic (see the file header).
 func RowMeanInto(out, t *Dense) {
 	if out.Rows != t.Rows || out.Cols != 1 {
 		panic("tensor: row-mean output must be Rows x 1")
@@ -110,7 +113,8 @@ func RowMeanInto(out, t *Dense) {
 	}
 }
 
-// AddBias adds the length-Cols bias vector to every row of t in place.
+// AddBias adds the length-Cols bias vector to every row of t in place. A
+// wrong bias length is an invariant panic (see the file header).
 func AddBias(t *Dense, bias []float32) {
 	if len(bias) != t.Cols {
 		panic(fmt.Sprintf("tensor: bias length %d != cols %d", len(bias), t.Cols))
@@ -148,7 +152,8 @@ func Exp(t *Dense) {
 	}
 }
 
-// Add returns a + b element-wise.
+// Add returns a + b element-wise. Shape mismatch is an invariant panic (see
+// the file header).
 func Add(a, b *Dense) *Dense {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic("tensor: add shape mismatch")
@@ -167,7 +172,8 @@ func Scale(t *Dense, s float32) {
 	}
 }
 
-// Concat returns the column-wise concatenation [a | b].
+// Concat returns the column-wise concatenation [a | b]. A row-count
+// mismatch is an invariant panic (see the file header).
 func Concat(a, b *Dense) *Dense {
 	if a.Rows != b.Rows {
 		panic("tensor: concat row mismatch")
@@ -195,7 +201,8 @@ func RowSum(t *Dense) *Dense {
 
 // DivRows divides each row of t in place by the corresponding scalar in
 // denom (an n×1 tensor); rows whose denominator is 0 are left as zeros,
-// matching mean-aggregation over vertices with no incoming edges.
+// matching mean-aggregation over vertices with no incoming edges. A wrong
+// denominator shape is an invariant panic (see the file header).
 func DivRows(t *Dense, denom *Dense) {
 	if denom.Rows != t.Rows || denom.Cols != 1 {
 		panic("tensor: DivRows denominator must be Rows x 1")
