@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-models bench-obs race vet faults obs lint verify
+.PHONY: build test check bench bench-models bench-obs bench-shard race vet faults obs lint verify
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ verify:
 # layer's fault-injection points, and the graph loaders) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/... ./internal/faultinject/... ./internal/graph/... ./internal/telemetry/...
+	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/... ./internal/faultinject/... ./internal/graph/... ./internal/telemetry/... ./internal/shard/... ./internal/reorder/...
 
 # faults runs the fault-injection suite under the race detector: injected
 # kernel panics, NaN pokes, slow chunks and lowering failures, each proven
@@ -65,3 +65,9 @@ bench:
 # 0 allocs/op.
 bench-models:
 	$(GO) test -run '^$$' -bench BenchmarkForwardCompiled -benchmem .
+
+# bench-shard sweeps the shard count (1 = flat baseline, 4, 16) for the
+# compiled model path on AR and PR; EXPERIMENTS.md records the table and
+# BENCH_shard.json the machine-readable summary.
+bench-shard:
+	$(GO) test -run '^$$' -bench BenchmarkForwardSharded -benchmem .

@@ -27,6 +27,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
@@ -37,6 +38,7 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.String("json", "", "write per-experiment JSON summary records to this file")
 	backend := flag.String("backend", "", "host compute backend for functional passes: reference, parallel, resilient or sim (empty = parallel / $UGRAPHER_BACKEND)")
+	shards := flag.Int("shards", -1, "graph shards for the parallel backend: 0 = auto-size, 1 = unsharded, N = fixed count (-1 = $UGRAPHER_SHARDS / 1)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget, checked between experiments (0 = none); exceeding it exits with code 3")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
 	metricsPath := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot")
@@ -57,6 +59,16 @@ func main() {
 	if err := core.ValidateEnvBackend(); err != nil {
 		fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
 		os.Exit(2)
+	}
+	if err := core.ValidateEnvShards(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if *shards >= 0 {
+		if err := core.SetDefaultShards(*shards); err != nil {
+			fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -162,9 +174,14 @@ type experimentSummary struct {
 	Datasets   []string `json:"datasets,omitempty"`
 	Backend    string   `json:"backend"`
 	Workers    int      `json:"workers"`
-	Quick      bool     `json:"quick"`
-	WallMs     float64  `json:"wall_ms"`
-	Rows       int      `json:"rows"`
+	// Shards is the configured shard count for the parallel backend (1 =
+	// unsharded); EdgeCut is the cross-shard edge fraction of the most recent
+	// partition built during the experiment (0 when nothing was partitioned).
+	Shards  int     `json:"shards"`
+	EdgeCut float64 `json:"edgecut"`
+	Quick   bool    `json:"quick"`
+	WallMs  float64 `json:"wall_ms"`
+	Rows    int     `json:"rows"`
 	// Verified reports whether the static analysis ran over the experiment's
 	// compiled artifacts and found no violations. False means no plan or
 	// program was compiled during the run (nothing was verified) — a clean
@@ -190,11 +207,17 @@ func writeSummaries(path string, summaries []experimentSummary) error {
 func runOne(e bench.Experiment, opts bench.Options, csvOut bool, summaries *[]experimentSummary) error {
 	start := time.Now()
 	vsBefore := analysis.Stats()
+	spBefore := shard.Stats()
 	tab, err := e.Run(opts)
 	if err != nil {
 		return err
 	}
 	vsAfter := analysis.Stats()
+	spAfter := shard.Stats()
+	var edgeCut float64
+	if spAfter.Partitions > spBefore.Partitions {
+		edgeCut = spAfter.LastEdgeCut
+	}
 	wall := time.Since(start)
 	render := tab.Render
 	if csvOut {
@@ -215,6 +238,8 @@ func runOne(e bench.Experiment, opts bench.Options, csvOut bool, summaries *[]ex
 		Datasets:   opts.Datasets,
 		Backend:    b.Name(),
 		Workers:    core.Workers(b),
+		Shards:     core.DefaultShards(),
+		EdgeCut:    edgeCut,
 		Quick:      opts.Quick,
 		WallMs:     float64(wall.Microseconds()) / 1e3,
 		Rows:       len(tab.Rows),

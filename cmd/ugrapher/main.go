@@ -57,6 +57,7 @@ func main() {
 	top := flag.Int("top", 5, "with -tune: how many candidates to print")
 	source := flag.Bool("source", false, "print the generated kernel source")
 	backend := flag.String("backend", "", "host compute backend: reference, parallel or sim (empty = parallel / $UGRAPHER_BACKEND)")
+	shards := flag.Int("shards", -1, "graph shards for the parallel backend: 0 = auto-size, 1 = unsharded, N = fixed count (-1 = $UGRAPHER_SHARDS / 1)")
 	model := flag.String("model", "", "run a whole model instead of one operator: GCN, GIN, GAT, SSum, SMax or SMean")
 	classes := flag.Int("classes", 16, "with -model: number of output classes")
 	runs := flag.Int("runs", 5, "with -model: steady-state repetitions to time")
@@ -75,8 +76,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
 		os.Exit(2)
 	}
+	if err := core.ValidateEnvShards(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
+		os.Exit(2)
+	}
 	if *backend != "" {
 		if err := core.SetDefaultBackend(*backend); err != nil {
+			fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *shards >= 0 {
+		if err := core.SetDefaultShards(*shards); err != nil {
 			fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
 			os.Exit(2)
 		}
@@ -192,6 +203,10 @@ func runModel(ctx context.Context, dataset, graphFile, name string, feat, classe
 		m.Name(), feat, classes, core.DefaultBackend().Name())
 	fmt.Printf("program: %d graph kernels (%d fused pairs, %d nodes eliminated), %d reusable buffer slots, arena=%.1f MiB\n",
 		s.GraphKernels, s.FusedPairs, s.RemovedNodes, s.BufferSlots, float64(s.ArenaFloats)*4/(1<<20))
+	if s.Shards > 1 {
+		fmt.Printf("sharding: %d shards, edge-cut=%.3f, scratch=%.1f MiB\n",
+			s.Shards, s.ShardEdgeCut, float64(s.ShardScratchFloats)*4/(1<<20))
+	}
 	fmt.Printf("compile: %v (record + fuse + schedule + buffer-plan, paid once)\n", compileTime.Round(time.Microsecond))
 	fmt.Printf("steady-state: %v/run over %d runs (zero allocations per run)\n", per.Round(time.Microsecond), runs)
 	return nil

@@ -58,6 +58,22 @@ const (
 	// RuleInPlace: a node writes into its operand's slot without being
 	// elementwise, or while the operand is still live elsewhere.
 	RuleInPlace = "inplace-elementwise"
+	// RuleShardEdgeCover: a shard plan does not cover every edge exactly
+	// once, files an edge under a shard that does not own its destination,
+	// or mis-maps an edge's local source/destination ids.
+	RuleShardEdgeCover = "shard-edge-cover"
+	// RuleShardHaloCover: a shard's halo does not cover its cross-shard
+	// reads — the local id map is inconsistent with Owned ++ Halo, a halo
+	// vertex is owned by the shard itself, or a referenced local source id
+	// falls outside the map.
+	RuleShardHaloCover = "shard-halo-cover"
+	// RuleShardNoAlias: two shards both own a vertex (their output regions
+	// would alias one row), or a vertex is owned by no shard.
+	RuleShardNoAlias = "shard-no-alias"
+	// RuleShardMergeOrder: the plan's cross-shard merge order is not the
+	// canonical ascending shard order, so the merge would not be
+	// deterministic across runs.
+	RuleShardMergeOrder = "shard-merge-order"
 )
 
 // ProgramRules lists the rules VerifyProgram checks, in report order.
@@ -69,6 +85,11 @@ var ProgramRules = []string{
 
 // PlanRules lists the rules VerifyPlan / VerifyLowering check.
 var PlanRules = []string{RuleOperandType, RuleWriteConflict}
+
+// ShardRules lists the rules VerifyShardPlan checks, in report order.
+var ShardRules = []string{
+	RuleShardNoAlias, RuleShardEdgeCover, RuleShardHaloCover, RuleShardMergeOrder,
+}
 
 // Diagnostic is one verifier finding: which rule, where, and how to fix it.
 type Diagnostic struct {
@@ -149,6 +170,7 @@ func (r Report) OK() bool { return len(r.Diags) == 0 }
 var (
 	programsVerified atomic.Int64
 	plansVerified    atomic.Int64
+	shardsVerified   atomic.Int64
 	violationsFound  atomic.Int64
 )
 
@@ -158,6 +180,8 @@ type VerifyStats struct {
 	Programs int64
 	// Plans is how many plan-level verifications ran.
 	Plans int64
+	// ShardPlans is how many shard-plan verifications ran.
+	ShardPlans int64
 	// Violations is how many diagnostics all verifications produced.
 	Violations int64
 }
@@ -167,6 +191,7 @@ func Stats() VerifyStats {
 	return VerifyStats{
 		Programs:   programsVerified.Load(),
 		Plans:      plansVerified.Load(),
+		ShardPlans: shardsVerified.Load(),
 		Violations: violationsFound.Load(),
 	}
 }

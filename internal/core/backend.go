@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/shard"
 )
 
 // This file defines the execution-backend abstraction: the split between
@@ -148,6 +150,75 @@ func SetDefaultBackend(name string) error {
 	defaultBackendV = b
 	defaultBackendMu.Unlock()
 	return nil
+}
+
+// Shard-count plumbing, mirroring the backend selection above: CLI -shards
+// flags funnel through SetDefaultShards, UGRAPHER_SHARDS covers headless
+// runs, and ValidateEnvShards lets CLIs fail fast at startup. 0 means auto
+// (size shards from the cache budget, see shard.AutoShards); 1 disables
+// sharding — today's single-CSR execution.
+
+var (
+	defaultShardsMu sync.Mutex
+	defaultShardsV  = -1 // unresolved: fall through to UGRAPHER_SHARDS
+)
+
+// parseShards validates a shard-count string against [0, shard.MaxShards].
+func parseShards(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > shard.MaxShards {
+		return 0, fmt.Errorf("core: invalid shard count %q (valid: 0 (auto) through %d; 1 = unsharded)",
+			s, shard.MaxShards)
+	}
+	return n, nil
+}
+
+// ValidateEnvShards checks the UGRAPHER_SHARDS environment variable so CLIs
+// can exit with the valid range at startup instead of warning mid-run.
+func ValidateEnvShards() error {
+	s := os.Getenv("UGRAPHER_SHARDS")
+	if s == "" {
+		return nil
+	}
+	if _, err := parseShards(s); err != nil {
+		return fmt.Errorf("UGRAPHER_SHARDS: %w", err)
+	}
+	return nil
+}
+
+// SetDefaultShards overrides the process-wide default shard count and
+// resets the cached default backend so the next DefaultBackend() call picks
+// the new count up.
+func SetDefaultShards(n int) error {
+	if n < 0 || n > shard.MaxShards {
+		return fmt.Errorf("core: invalid shard count %d (valid: 0 (auto) through %d; 1 = unsharded)",
+			n, shard.MaxShards)
+	}
+	defaultShardsMu.Lock()
+	defaultShardsV = n
+	defaultShardsMu.Unlock()
+	defaultBackendMu.Lock()
+	defaultBackendV = nil
+	defaultBackendMu.Unlock()
+	return nil
+}
+
+// DefaultShards resolves the process-wide default shard count: the
+// SetDefaultShards override, else UGRAPHER_SHARDS, else 1 (unsharded).
+func DefaultShards() int {
+	defaultShardsMu.Lock()
+	defer defaultShardsMu.Unlock()
+	if defaultShardsV >= 0 {
+		return defaultShardsV
+	}
+	if s := os.Getenv("UGRAPHER_SHARDS"); s != "" {
+		n, err := parseShards(s)
+		if err == nil {
+			return n
+		}
+		fmt.Fprintf(os.Stderr, "ugrapher: UGRAPHER_SHARDS: %v (using 1)\n", err)
+	}
+	return 1
 }
 
 // ExecuteOn is the convenience path compile-once callers use: lower p onto

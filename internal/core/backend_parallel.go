@@ -11,6 +11,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
@@ -31,14 +32,26 @@ import (
 // test harness uses to prove both properties.
 
 // ParallelBackend executes plans on a host worker pool. The zero worker
-// count resolves to UGRAPHER_WORKERS or runtime.NumCPU().
+// count resolves to UGRAPHER_WORKERS or runtime.NumCPU(). A shard count
+// other than 1 routes aggregation kernels through the partition-aware
+// lowering path (backend_sharded.go).
 type ParallelBackend struct {
 	workers int
+	shards  int
 }
 
 // NewParallelBackend builds a backend with the given worker-pool size
-// (0 = UGRAPHER_WORKERS env var, else runtime.NumCPU()).
+// (0 = UGRAPHER_WORKERS env var, else runtime.NumCPU()) and the
+// process-default shard count (DefaultShards).
 func NewParallelBackend(workers int) *ParallelBackend {
+	return NewShardedParallelBackend(workers, DefaultShards())
+}
+
+// NewShardedParallelBackend builds a backend with an explicit shard count:
+// 0 auto-sizes shards from the cache budget per graph, 1 disables sharding,
+// K > 1 partitions every graph into K shards at Lower time. Counts outside
+// [0, shard.MaxShards] clamp to the unsharded default.
+func NewShardedParallelBackend(workers, shards int) *ParallelBackend {
 	if workers <= 0 {
 		if s := os.Getenv("UGRAPHER_WORKERS"); s != "" {
 			if n, err := strconv.Atoi(s); err == nil && n > 0 {
@@ -49,7 +62,10 @@ func NewParallelBackend(workers int) *ParallelBackend {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &ParallelBackend{workers: workers}
+	if shards < 0 || shards > shard.MaxShards {
+		shards = 1
+	}
+	return &ParallelBackend{workers: workers, shards: shards}
 }
 
 // Name implements ExecBackend.
@@ -57,6 +73,9 @@ func (b *ParallelBackend) Name() string { return "parallel" }
 
 // Workers reports the worker-pool size.
 func (b *ParallelBackend) Workers() int { return b.workers }
+
+// Shards reports the configured shard count (0 = auto, 1 = unsharded).
+func (b *ParallelBackend) Shards() int { return b.shards }
 
 // Lower implements ExecBackend: validate once, resolve operand row
 // selectors, and pick the specialized inner loop.
@@ -72,6 +91,20 @@ func (b *ParallelBackend) Lower(p *Plan, g *graph.Graph, o Operands) (ck Compile
 	row, err := lowerRowKernel(p.Op.EdgeOp, p.Op.GatherOp)
 	if err != nil {
 		return nil, err
+	}
+	// Partition-aware path: aggregation kernels (Dst_V output) execute over
+	// a verified shard plan when sharding is on. Message creation stays on
+	// the flat path — per-edge output rows never conflict, so sharding buys
+	// it nothing. A plan that resolves to a single shard (auto on a small
+	// graph) falls through to the flat path too.
+	if b.shards != 1 && p.Op.CKind == tensor.DstV {
+		sp, err := shardPlanFor(g, b.shards)
+		if err != nil {
+			return nil, err
+		}
+		if sp.K > 1 {
+			return b.lowerSharded(p, g, o, sp, row)
+		}
 	}
 	k := &parallelKernel{
 		b: b, p: p, g: g, o: o,

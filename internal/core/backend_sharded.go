@@ -1,0 +1,392 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// The partition-aware lowering path of the parallel backend. A graph is
+// split once (per graph, cached) into K cache-sized shards by
+// shard.Partition; aggregation kernels then execute shard-at-a-time with
+// worker-to-shard affinity: workers claim whole shards off an atomic
+// cursor, so each shard's sub-CSR, id map and partial buffer stay with one
+// worker for the duration of the shard.
+//
+// Because shards own the incoming edges of their owned vertices, every
+// output row has exactly one producing shard and the two execution shapes
+// are conflict-free by construction:
+//
+//   - vertex-parallel strategies walk the shard's local CSR and write owned
+//     global rows directly (owner-per-row discipline);
+//   - edge-parallel strategies run the two-level reduction: level 1 reduces
+//     the shard's edges into its private partial slice (compact local
+//     indexing, |owned| x feat — the whole level-1 working set of a shard
+//     is partial + halo rows), level 2 folds the partial into the owned
+//     global rows with the same mergeRow machinery the flat backend uses,
+//     plus the zero-degree and mean fixups. Shard partials are disjoint
+//     slices of one scratch block, carved at Lower time so the steady state
+//     allocates nothing; determinism follows from row ownership plus the
+//     CSR-ordered level-1 walk, independent of worker count or claim order.
+
+// shardPlanCache memoises verified shard plans per (graph, requested count):
+// a compiled model program lowers several kernels against the same graph,
+// and partitioning is the expensive part. Bounded defensively; the bound is
+// far above what a process compiling a handful of graphs reaches.
+var (
+	shardPlanMu    sync.Mutex
+	shardPlanCache = map[shardPlanKey]*shard.Plan{}
+)
+
+type shardPlanKey struct {
+	g *graph.Graph
+	k int
+}
+
+const shardPlanCacheMax = 64
+
+// shardPlanFor returns the memoised plan for (g, k), partitioning and
+// verifying on first use. Errors are not cached: a corrupted-plan rejection
+// (fault injection) must not poison later lowers.
+func shardPlanFor(g *graph.Graph, k int) (*shard.Plan, error) {
+	shardPlanMu.Lock()
+	defer shardPlanMu.Unlock()
+	key := shardPlanKey{g: g, k: k}
+	if p, ok := shardPlanCache[key]; ok {
+		return p, nil
+	}
+	p, err := shard.Partition(g, k)
+	if err != nil {
+		return nil, err
+	}
+	if len(shardPlanCache) >= shardPlanCacheMax {
+		shardPlanCache = map[shardPlanKey]*shard.Plan{}
+	}
+	shardPlanCache[key] = p
+	return p, nil
+}
+
+// ShardedLowering is implemented by lowered kernels that execute over a
+// shard plan. The program compiler uses it to report partition shape in its
+// stats and to rebind the per-shard scratch of all of a program's kernels
+// onto one shared block (steps run sequentially, so sharing is safe and
+// caps the program's shard-scratch footprint at the largest kernel's).
+type ShardedLowering interface {
+	// ShardCount reports how many shards the kernel executes over.
+	ShardCount() int
+	// ShardEdgeCut reports the plan's cross-shard edge fraction.
+	ShardEdgeCut() float64
+	// ShardScratchFloats reports the float32 count of the kernel's partial
+	// scratch (0 for vertex-parallel lowerings, which need none).
+	ShardScratchFloats() int
+	// BindShardScratch points the kernel's partials at buf, which must hold
+	// at least ShardScratchFloats elements. The kernel re-initialises the
+	// scratch every Run, so rebinding never leaks state between kernels.
+	BindShardScratch(buf []float32)
+}
+
+// lowerSharded builds the partition-aware kernel for an aggregation plan.
+// Only called with CKind == Dst_V and a plan of at least 2 shards.
+func (b *ParallelBackend) lowerSharded(p *Plan, g *graph.Graph, o Operands, sp *shard.Plan, row fusedRow) (CompiledKernel, error) {
+	gop := p.Op.GatherOp
+	k := &shardedKernel{
+		b: b, p: p, g: g, o: o,
+		feat:      o.C.T.Cols,
+		selA:      lowerRowSel(o.A),
+		selB:      lowerRowSel(o.B),
+		row:       row,
+		sp:        sp,
+		vertexPar: p.Schedule.Strategy.VertexParallel(),
+		mean:      gop == ops.GatherMean,
+		identity:  gop.Identity(),
+		site:      kernelSite(p, b.Name(), g),
+	}
+	if !k.vertexPar {
+		// Per-shard partial slices, carved from one block: shard s owns
+		// scratch[offsets[s] : offsets[s] + |owned_s| * feat]. The offsets
+		// sum to |V| * feat — versus workers * |V| * feat for the flat
+		// edge-parallel path's per-worker partials.
+		k.offsets = make([]int, sp.K)
+		total := 0
+		for i := range sp.Shards {
+			k.offsets[i] = total
+			total += sp.Shards[i].NumOwned() * k.feat
+		}
+		k.scratch = make([]float32, total)
+	}
+	// Span labels are precomputed so per-shard tracing allocates nothing at
+	// Run time.
+	k.labels = make([]string, sp.K)
+	for s := range k.labels {
+		k.labels[s] = fmt.Sprintf("%s shard %d/%d", opLabel(p), s, sp.K)
+	}
+	return k, nil
+}
+
+// shardedKernel is a Plan lowered onto a shard plan. Not safe for
+// concurrent Run calls (shared scratch), like every host kernel.
+type shardedKernel struct {
+	b    *ParallelBackend
+	p    *Plan
+	g    *graph.Graph
+	o    Operands
+	feat int
+	selA rowSel
+	selB rowSel
+	row  fusedRow
+	sp   *shard.Plan
+
+	vertexPar bool
+	mean      bool
+	identity  float32
+
+	// scratch holds the per-shard partials of the two-level reduction;
+	// offsets locates shard s's slice. Owned by the kernel unless the
+	// program compiler rebound it onto a program-wide block.
+	scratch []float32
+	offsets []int
+
+	// labels are the per-shard span names, precomputed at Lower.
+	labels []string
+
+	runs      int64
+	shardsRun int64
+
+	site *telemetry.KernelSite
+}
+
+// Plan implements CompiledKernel.
+func (k *shardedKernel) Plan() *Plan { return k.p }
+
+// Counters implements CompiledKernel.
+func (k *shardedKernel) Counters() Counters {
+	return Counters{
+		Runs:    k.runs,
+		Edges:   k.runs * int64(k.g.NumEdges()),
+		Shards:  k.shardsRun,
+		Workers: k.b.workers,
+	}
+}
+
+// ShardCount implements ShardedLowering.
+func (k *shardedKernel) ShardCount() int { return k.sp.K }
+
+// ShardEdgeCut implements ShardedLowering.
+func (k *shardedKernel) ShardEdgeCut() float64 { return k.sp.EdgeCut }
+
+// ShardScratchFloats implements ShardedLowering.
+func (k *shardedKernel) ShardScratchFloats() int { return len(k.scratch) }
+
+// BindShardScratch implements ShardedLowering.
+func (k *shardedKernel) BindShardScratch(buf []float32) {
+	if n := len(k.scratch); n > 0 && len(buf) >= n {
+		k.scratch = buf[:n]
+	}
+}
+
+// Run implements CompiledKernel.
+func (k *shardedKernel) Run() error { return k.RunCtx(context.Background()) }
+
+// RunCtx implements CompiledKernel, with the same recovery and telemetry
+// discipline as the flat parallel kernel: the End defer is registered first
+// so it observes the panic already converted into err.
+func (k *shardedKernel) RunCtx(ctx context.Context) (err error) {
+	tstart := k.site.Begin()
+	defer func() {
+		oc, detail := outcomeOf(err)
+		k.site.End(tstart, oc, detail, nil)
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			err = newKernelError(k.p, k.b.Name(), r, captureStack())
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers := k.b.workers
+	if int64(k.g.NumEdges())*int64(k.feat) < smallWork {
+		workers = 1
+	}
+	if err := k.runShards(ctx, workers); err != nil {
+		return err
+	}
+	if err := finishRun(k.p, k.o.C.T); err != nil {
+		return err
+	}
+	k.runs++
+	return nil
+}
+
+// runShards executes every shard once, dealing whole shards to workers off
+// an atomic cursor (worker-to-shard affinity). Cancellation is checked at
+// shard claims; worker panics recover into a *KernelError. The
+// single-worker, no-deadline path is a plain loop so the steady state stays
+// allocation-free.
+func (k *shardedKernel) runShards(ctx context.Context, workers int) error {
+	n := k.sp.K
+	if workers > n {
+		workers = n
+	}
+	done := ctx.Done()
+	if workers <= 1 {
+		for s := 0; s < n; s++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+			faultinject.MaybeSleep(faultinject.SlowChunk)
+			faultinject.MaybePanic(faultinject.KernelPanic)
+			k.execShard(int32(s))
+			k.shardsRun++
+		}
+		return nil
+	}
+
+	var cursor atomic.Int64
+	var shards atomic.Int64
+	var stop atomic.Bool
+	var pc panicCell
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pc.record(r)
+					stop.Store(true)
+				}
+			}()
+			for !stop.Load() {
+				if done != nil {
+					select {
+					case <-done:
+						stop.Store(true)
+						return
+					default:
+					}
+				}
+				s := cursor.Add(1) - 1
+				if s >= int64(n) {
+					return
+				}
+				faultinject.MaybeSleep(faultinject.SlowChunk)
+				faultinject.MaybePanic(faultinject.KernelPanic)
+				k.execShard(int32(s))
+				shards.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	k.shardsRun += shards.Load()
+	if r, stack := pc.get(); r != nil {
+		return newKernelError(k.p, k.b.Name(), r, stack)
+	}
+	return ctx.Err()
+}
+
+// execShard runs one shard end to end, under a per-shard span when
+// telemetry is armed.
+func (k *shardedKernel) execShard(s int32) {
+	if telemetry.Enabled() {
+		sp := telemetry.StartSpan(k.b.Name(), "shard", k.labels[s])
+		defer sp.End()
+	}
+	sh := &k.sp.Shards[s]
+	if k.vertexPar {
+		k.vertexShard(sh)
+	} else {
+		k.edgeShard(sh)
+	}
+}
+
+// vertexShard mirrors the thread-vertex / warp-vertex kernels over one
+// shard: walk the local CSR, resolve global ids through L2G, accumulate
+// into the owned global row directly. One owner per row, so no partials.
+func (k *shardedKernel) vertexShard(sh *shard.Shard) {
+	out := k.o.C.T
+	for i := range sh.Owned {
+		v := sh.Owned[i]
+		row := out.Row(int(v))
+		lo, hi := sh.Ptr[i], sh.Ptr[i+1]
+		if lo == hi {
+			for j := range row {
+				row[j] = 0 // zero-degree convention (DGL)
+			}
+			continue
+		}
+		for j := range row {
+			row[j] = k.identity
+		}
+		for x := lo; x < hi; x++ {
+			e := sh.Edge[x]
+			u := sh.L2G[sh.Src[x]]
+			k.row(row, k.selA(e, u, v), k.selB(e, u, v))
+		}
+		if k.mean {
+			inv := 1 / float32(hi-lo)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+}
+
+// edgeShard is the two-level reduction for the edge-parallel strategies.
+// Level 1 reduces the shard's edges into its private partial slice using
+// compact local row indexing; level 2 folds the partial into the owned
+// global rows (mergeRow, as in the flat backend's merge phase) and applies
+// the zero-degree and mean fixups. Destination ownership makes level 2
+// exclusive per row, so the fold order across shards cannot matter — the
+// canonical MergeOrder the verifier pins is trivially respected.
+func (k *shardedKernel) edgeShard(sh *shard.Shard) {
+	out := k.o.C.T
+	feat := k.feat
+	gop := k.p.Op.GatherOp
+	nOwned := len(sh.Owned)
+	buf := k.scratch[k.offsets[sh.ID] : k.offsets[sh.ID]+nOwned*feat]
+	for i := range buf {
+		buf[i] = k.identity
+	}
+	for i := 0; i < nOwned; i++ {
+		v := sh.Owned[i]
+		row := buf[i*feat : i*feat+feat]
+		for x := sh.Ptr[i]; x < sh.Ptr[i+1]; x++ {
+			e := sh.Edge[x]
+			u := sh.L2G[sh.Src[x]]
+			k.row(row, k.selA(e, u, v), k.selB(e, u, v))
+		}
+	}
+	for i := 0; i < nOwned; i++ {
+		v := sh.Owned[i]
+		row := out.Row(int(v))
+		deg := sh.Ptr[i+1] - sh.Ptr[i]
+		if deg == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		for j := range row {
+			row[j] = k.identity
+		}
+		mergeRow(gop, row, buf[i*feat:i*feat+feat])
+		if k.mean {
+			inv := 1 / float32(deg)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+}

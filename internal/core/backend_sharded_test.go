@@ -1,0 +1,339 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/faultinject"
+	"repro/internal/ops"
+	"repro/internal/shard"
+	"repro/internal/tensor"
+)
+
+// TestShardedBackendFullRegistry is the sharded twin of the exhaustive
+// backend-equivalence property: for EVERY (strategy x operator) pair, the
+// partition-aware lowering over 6 shards matches the reference interpreter
+// within 1e-4 — the acceptance bar the partitioning refactor must clear.
+func TestShardedBackendFullRegistry(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := testGraphQuick(rng, 250, 2600)
+	par := NewShardedParallelBackend(4, 6)
+	feat := 13 // 2600 edges x 13 feats clears the small-work cutoff
+
+	for _, entry := range ops.Registry() {
+		op := entry.Info
+		ref := positiveOperands(g, op, feat, rand.New(rand.NewSource(101)))
+		if err := Reference(g, op, ref); err != nil {
+			t.Fatalf("%s: reference: %v", entry.DGLName, err)
+		}
+		for _, strat := range Strategies {
+			got := positiveOperands(g, op, feat, rand.New(rand.NewSource(101)))
+			p, err := Compile(op, Schedule{Strategy: strat, Group: 1, Tile: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", entry.DGLName, strat, err)
+			}
+			k, err := par.Lower(p, g, got)
+			if err != nil {
+				t.Fatalf("%s/%s: lower: %v", entry.DGLName, strat, err)
+			}
+			if op.CKind == tensor.DstV {
+				if _, ok := k.(ShardedLowering); !ok {
+					t.Fatalf("%s/%s: aggregation did not take the sharded path", entry.DGLName, strat)
+				}
+			} else if _, ok := k.(ShardedLowering); ok {
+				t.Fatalf("%s/%s: message creation must stay on the flat path", entry.DGLName, strat)
+			}
+			if err := k.Run(); err != nil {
+				t.Fatalf("%s/%s: run: %v", entry.DGLName, strat, err)
+			}
+			if !got.C.T.AllClose(ref.C.T, 1e-4, 1e-4) {
+				t.Errorf("%s/%s: sharded differs from reference (maxdiff %v)",
+					entry.DGLName, strat, got.C.T.MaxDiff(ref.C.T))
+			}
+		}
+	}
+}
+
+// TestShardedMatchesUnsharded compares the sharded and flat lowering of the
+// same plans bit-for-bit-tolerantly across shard counts, including a count
+// above the vertex count.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	g := testGraph(t, 180, 2000, 11)
+	const feat = 9
+	for _, op := range []ops.OpInfo{ops.AggrSum, ops.AggrMax, ops.AggrMean, ops.WeightedAggrSum} {
+		for _, strat := range Strategies {
+			p := MustCompile(op, Schedule{Strategy: strat, Group: 1, Tile: 1})
+			flat := makeOperands(g, op, feat, false, 5)
+			k, err := NewShardedParallelBackend(3, 1).Lower(p, g, flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 5, 64, 200} {
+				o := makeOperands(g, op, feat, false, 5)
+				sk, err := NewShardedParallelBackend(3, shards).Lower(p, g, o)
+				if err != nil {
+					t.Fatalf("%s/%s shards=%d: lower: %v", op, strat, shards, err)
+				}
+				if err := sk.Run(); err != nil {
+					t.Fatalf("%s/%s shards=%d: run: %v", op, strat, shards, err)
+				}
+				if !o.C.T.AllClose(flat.C.T, 1e-4, 1e-4) {
+					t.Errorf("%s/%s shards=%d: sharded != unsharded (maxdiff %v)",
+						op, strat, shards, o.C.T.MaxDiff(flat.C.T))
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRunDeterministic: repeated runs of one sharded kernel are
+// bit-identical even with a worker pool racing over shard claims —
+// destination ownership makes the result independent of claim order.
+func TestShardedRunDeterministic(t *testing.T) {
+	g := testGraph(t, 400, 9000, 3)
+	const feat = 8
+	op := ops.AggrSum
+	p := MustCompile(op, Schedule{Strategy: ThreadEdge, Group: 1, Tile: 1})
+	o := makeOperands(g, op, feat, false, 2)
+	k, err := NewShardedParallelBackend(8, 7).Lower(p, g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	first := o.C.T.Clone()
+	for rep := 0; rep < 5; rep++ {
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !o.C.T.Equal(first) {
+			t.Fatalf("rep %d differs from first run", rep)
+		}
+	}
+}
+
+// TestShardedLoweringInterface pins the program-compiler contract: shard
+// count and edge cut are reported, edge-parallel lowerings expose their
+// scratch, and rebinding the scratch onto a caller block keeps results
+// correct.
+func TestShardedLoweringInterface(t *testing.T) {
+	g := testGraph(t, 300, 4000, 13)
+	const feat = 12
+	op := ops.AggrSum
+
+	pe := MustCompile(op, Schedule{Strategy: ThreadEdge, Group: 1, Tile: 1})
+	o := makeOperands(g, op, feat, false, 7)
+	k, err := NewShardedParallelBackend(2, 5).Lower(pe, g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, ok := k.(ShardedLowering)
+	if !ok {
+		t.Fatal("edge-parallel aggregation must be a ShardedLowering")
+	}
+	if sl.ShardCount() != 5 {
+		t.Errorf("ShardCount = %d, want 5", sl.ShardCount())
+	}
+	if cut := sl.ShardEdgeCut(); cut <= 0 || cut > 1 {
+		t.Errorf("ShardEdgeCut = %v, want in (0,1]", cut)
+	}
+	want := g.NumVertices() * feat
+	if sl.ShardScratchFloats() != want {
+		t.Errorf("ShardScratchFloats = %d, want %d (sum of owned x feat)", sl.ShardScratchFloats(), want)
+	}
+	ref := makeOperands(g, op, feat, false, 7)
+	if err := Reference(g, op, ref); err != nil {
+		t.Fatal(err)
+	}
+	sl.BindShardScratch(make([]float32, want+100))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !o.C.T.AllClose(ref.C.T, 1e-4, 1e-4) {
+		t.Errorf("rebond scratch broke the kernel (maxdiff %v)", o.C.T.MaxDiff(ref.C.T))
+	}
+	// Undersized buffers must be refused, keeping the kernel on its own.
+	sl.BindShardScratch(make([]float32, 1))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !o.C.T.AllClose(ref.C.T, 1e-4, 1e-4) {
+		t.Error("undersized BindShardScratch corrupted the kernel")
+	}
+
+	// Vertex-parallel lowerings need no partials.
+	pv := MustCompile(op, Schedule{Strategy: ThreadVertex, Group: 1, Tile: 1})
+	o2 := makeOperands(g, op, feat, false, 7)
+	k2, err := NewShardedParallelBackend(2, 5).Lower(pv, g, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := k2.(ShardedLowering).ShardScratchFloats(); n != 0 {
+		t.Errorf("vertex-parallel scratch = %d, want 0", n)
+	}
+}
+
+// TestShardedCounters: shard executions accumulate in Counters.Shards.
+func TestShardedCounters(t *testing.T) {
+	g := testGraph(t, 200, 3000, 5)
+	op := ops.AggrSum
+	p := MustCompile(op, Schedule{Strategy: ThreadEdge, Group: 1, Tile: 1})
+	o := makeOperands(g, op, 11, false, 3)
+	k, err := NewShardedParallelBackend(4, 6).Lower(p, g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := k.Counters()
+	if c.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", c.Runs)
+	}
+	if c.Shards != 3*6 {
+		t.Errorf("Shards = %d, want %d", c.Shards, 3*6)
+	}
+	if c.Edges != 3*int64(g.NumEdges()) {
+		t.Errorf("Edges = %d, want %d", c.Edges, 3*g.NumEdges())
+	}
+}
+
+// TestShardedCancellationAndPanic: the sharded runner honours context
+// cancellation at shard claims and recovers worker panics into typed
+// *KernelError values, like the flat runner.
+func TestShardedCancellationAndPanic(t *testing.T) {
+	defer faultinject.Reset()
+	g := testGraph(t, 1000, 20000, 7)
+	op := ops.AggrSum
+	p := MustCompile(op, Schedule{Strategy: ThreadEdge, Group: 1, Tile: 1})
+	o := makeOperands(g, op, 8, false, 9)
+	k, err := NewShardedParallelBackend(4, 8).Lower(p, g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if err := k.RunCtx(pre); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunCtx = %v, want context.Canceled", err)
+	}
+
+	faultinject.Arm(faultinject.SlowChunk, faultinject.Spec{After: 1, Every: 1, Delay: 30 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	if err := k.RunCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow sharded kernel under deadline: %v, want DeadlineExceeded", err)
+	}
+	faultinject.Reset()
+
+	faultinject.Arm(faultinject.KernelPanic, faultinject.Spec{After: 2})
+	var ke *KernelError
+	if err := k.Run(); !errors.As(err, &ke) {
+		t.Fatalf("worker panic surfaced as %v, want *KernelError", err)
+	} else if ke.Backend != "parallel" {
+		t.Errorf("KernelError.Backend = %q", ke.Backend)
+	}
+	faultinject.Reset()
+
+	// The kernel stays usable: the next run re-initialises partials and
+	// matches the oracle.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref := makeOperands(g, op, 8, false, 9)
+	if err := Reference(g, op, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !o.C.T.AllClose(ref.C.T, 1e-4, 1e-4) {
+		t.Errorf("post-fault rerun differs from reference (maxdiff %v)", o.C.T.MaxDiff(ref.C.T))
+	}
+}
+
+// TestShardedLowerRejectsCorruptPlan: an armed shard-plan corruption makes
+// Lower fail with the violated rule — a wrong partition is unrepresentable
+// as a lowered kernel. A fresh graph guarantees the plan cache cannot
+// satisfy the lookup first.
+func TestShardedLowerRejectsCorruptPlan(t *testing.T) {
+	defer faultinject.Reset()
+	g := testGraph(t, 500, 6000, 21)
+	op := ops.AggrSum
+	p := MustCompile(op, Schedule{Strategy: ThreadEdge, Group: 1, Tile: 1})
+	o := makeOperands(g, op, 8, false, 1)
+	faultinject.Arm(faultinject.CorruptShardPlan, faultinject.Spec{After: 1, Seed: 0})
+	_, err := NewShardedParallelBackend(2, 4).Lower(p, g, o)
+	if err == nil {
+		t.Fatal("Lower accepted a corrupted shard plan")
+	}
+	var ve *analysis.VerifyError
+	if !errors.As(err, &ve) || !ve.HasRule(analysis.RuleShardEdgeCover) {
+		t.Fatalf("Lower error = %v, want shard-edge-cover violation", err)
+	}
+	faultinject.Reset()
+	// The failed partition is not cached: a clean Lower succeeds.
+	if _, err := NewShardedParallelBackend(2, 4).Lower(p, g, o); err != nil {
+		t.Fatalf("clean Lower after rejection: %v", err)
+	}
+}
+
+// TestShardPlanCacheReuse: lowering several kernels against one graph
+// partitions it once.
+func TestShardPlanCacheReuse(t *testing.T) {
+	g := testGraph(t, 400, 5000, 33)
+	op := ops.AggrSum
+	b := NewShardedParallelBackend(2, 4)
+	before := shard.Stats().Partitions
+	for _, strat := range Strategies {
+		p := MustCompile(op, Schedule{Strategy: strat, Group: 1, Tile: 1})
+		o := makeOperands(g, op, 6, false, 2)
+		if _, err := b.Lower(p, g, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := shard.Stats().Partitions - before; got != 1 {
+		t.Errorf("lowering 4 kernels partitioned %d times, want 1", got)
+	}
+}
+
+// TestShardedBackendDefaults: shard counts resolve through the same
+// default/env plumbing the backend name uses.
+func TestShardedBackendDefaults(t *testing.T) {
+	if err := SetDefaultShards(3); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := SetDefaultShards(1); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if b := NewParallelBackend(2); b.Shards() != 3 {
+		t.Errorf("NewParallelBackend shards = %d, want the default 3", b.Shards())
+	}
+	if err := SetDefaultShards(-1); err == nil {
+		t.Error("SetDefaultShards(-1) should fail")
+	}
+	if err := SetDefaultShards(shard.MaxShards + 1); err == nil {
+		t.Error("SetDefaultShards above MaxShards should fail")
+	}
+	t.Setenv("UGRAPHER_SHARDS", "9999999")
+	if err := ValidateEnvShards(); err == nil {
+		t.Error("ValidateEnvShards should reject 9999999")
+	}
+	t.Setenv("UGRAPHER_SHARDS", "banana")
+	if err := ValidateEnvShards(); err == nil {
+		t.Error("ValidateEnvShards should reject a non-integer")
+	}
+	t.Setenv("UGRAPHER_SHARDS", "0")
+	if err := ValidateEnvShards(); err != nil {
+		t.Errorf("ValidateEnvShards(0) = %v, want nil (auto)", err)
+	}
+}

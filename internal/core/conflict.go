@@ -35,6 +35,18 @@ func (k *parallelKernel) ConflictHandling() string {
 	}
 }
 
+// ConflictHandling implements ConflictReporter: destination ownership gives
+// every output row exactly one producing shard, and a worker runs a whole
+// shard — so vertex-parallel shards write owner-per-row, and the
+// edge-parallel two-level reduction lands in shard-private partials merged
+// deterministically in canonical shard order.
+func (k *shardedKernel) ConflictHandling() string {
+	if k.vertexPar {
+		return analysis.ConflictOwnerPerRow
+	}
+	return analysis.ConflictPrivatePartials
+}
+
 // ConflictHandling implements ConflictReporter: the functional output comes
 // from the wrapped compute kernel, so the discipline is whatever that
 // kernel declares (the simulation replay writes no operand data).

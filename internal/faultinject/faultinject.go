@@ -59,6 +59,13 @@ const (
 	// CorruptAtomicFlag flips the plan's atomic-need bit in the verified
 	// facts, proving the write-conflict rule fires.
 	CorruptAtomicFlag
+	// CorruptShardPlan corrupts the verified view of a shard plan, proving
+	// the shard rules fire. Seed selects the variant: 0 duplicates an edge in
+	// one shard's edge list (shard-edge-cover), 1 points a halo entry at a
+	// vertex the shard itself owns (shard-halo-cover), 2 makes two shards own
+	// one vertex (shard-no-alias), 3 scrambles the cross-shard merge order
+	// (shard-merge-order).
+	CorruptShardPlan
 
 	numPoints
 )
@@ -66,6 +73,7 @@ const (
 var pointNames = [numPoints]string{
 	"kernel-panic", "nan-poke", "slow-chunk", "lower-fail",
 	"corrupt-operand-kind", "corrupt-fusion", "corrupt-buffer-plan", "corrupt-atomic-flag",
+	"corrupt-shard-plan",
 }
 
 // String names the point.

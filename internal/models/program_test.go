@@ -45,7 +45,11 @@ func TestCompiledMatchesForward(t *testing.T) {
 	x := tensor.NewDense(g.NumVertices(), inFeat)
 	x.FillRandom(rand.New(rand.NewSource(77)), 1)
 
-	backends := []core.ExecBackend{core.ReferenceBackend(), core.NewParallelBackend(2)}
+	backends := []core.ExecBackend{
+		core.ReferenceBackend(),
+		core.NewParallelBackend(2),
+		core.NewShardedParallelBackend(2, 4),
+	}
 	engines := []struct {
 		name string
 		mk   func(b core.ExecBackend) Engine
@@ -168,37 +172,45 @@ func TestGCNFusionReducesGraphOps(t *testing.T) {
 
 // TestCompiledRunZeroAllocs pins the steady-state guarantee: after compile,
 // Run allocates nothing — intermediates live in the arena, kernels reuse
-// their scratch. A single-worker parallel backend keeps the run on this
-// goroutine so AllocsPerRun observes everything.
+// their scratch, and sharded lowerings run from the scratch block the
+// program bound at compile time. A single-worker parallel backend keeps the
+// run on this goroutine so AllocsPerRun observes everything.
 func TestCompiledRunZeroAllocs(t *testing.T) {
 	g := smallGraph(t, 24)
 	const inFeat, classes = 16, 7
-	eng := &FixedEngine{
-		EngineName:   "fixed-test",
-		Dev:          gpu.V100(),
-		AggrSchedule: core.DefaultSchedule,
-		MsgCSchedule: core.DefaultSchedule,
-		Fuses:        true,
-		Compute:      core.NewParallelBackend(1),
-	}
 	x := tensor.NewDense(g.NumVertices(), inFeat)
 	x.FillRandom(rand.New(rand.NewSource(3)), 1)
 
-	for _, m := range All() {
-		cp, err := CompileModel(m, g, inFeat, classes, eng)
-		if err != nil {
-			t.Fatal(err)
+	for _, shards := range []int{1, 4} {
+		eng := &FixedEngine{
+			EngineName:   "fixed-test",
+			Dev:          gpu.V100(),
+			AggrSchedule: core.DefaultSchedule,
+			MsgCSchedule: core.DefaultSchedule,
+			Fuses:        true,
+			Compute:      core.NewShardedParallelBackend(1, shards),
 		}
-		if _, err := cp.Run(x); err != nil { // warm up
-			t.Fatal(err)
-		}
-		allocs := testing.AllocsPerRun(10, func() {
-			if _, err := cp.Run(x); err != nil {
+		for _, m := range All() {
+			cp, err := CompileModel(m, g, inFeat, classes, eng)
+			if err != nil {
 				t.Fatal(err)
 			}
-		})
-		if allocs != 0 {
-			t.Errorf("%s: steady-state Run allocates %.1f objects/run, want 0", m.Name(), allocs)
+			if shards > 1 && cp.Stats().Shards < 2 {
+				t.Fatalf("%s: shards=%d compiled without a sharded lowering (stats: %d)",
+					m.Name(), shards, cp.Stats().Shards)
+			}
+			if _, err := cp.Run(x); err != nil { // warm up
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := cp.Run(x); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s shards=%d: steady-state Run allocates %.1f objects/run, want 0",
+					m.Name(), shards, allocs)
+			}
 		}
 	}
 }

@@ -62,6 +62,16 @@ type Stats struct {
 	PeakLive    int
 	// ArenaFloats is the shared intermediate storage in float32 elements.
 	ArenaFloats int
+	// Shards is the shard count the backend lowered graph kernels over
+	// (1 when sharding is off or the backend has no sharded path).
+	Shards int
+	// ShardEdgeCut is the cross-shard edge fraction of the partition behind
+	// the sharded kernels (0 when unsharded).
+	ShardEdgeCut float64
+	// ShardScratchFloats is the program-wide shard-partial scratch in
+	// float32 elements: one block sized for the largest kernel, shared by
+	// every sharded kernel since steps run sequentially.
+	ShardScratchFloats int
 }
 
 // step is one executable operation of the compiled program, with all tensors
@@ -211,6 +221,39 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 			cp.scheds = append(cp.scheds, ScheduledOp{Name: n.Name, Op: op, Schedule: sched})
 		}
 		cp.steps = append(cp.steps, st)
+	}
+
+	// Sharded kernels: fold the partition shape into the stats and rebind
+	// every kernel's per-shard partials onto one program-owned block sized
+	// for the largest — steps run sequentially, so sharing is safe, and the
+	// program's shard scratch stops scaling with kernel count. The kernels
+	// re-initialise the scratch each Run, so the zero-alloc steady state is
+	// untouched.
+	cp.stats.Shards = 1
+	scratchFloats := 0
+	for i := range cp.steps {
+		sl, ok := cp.steps[i].kern.(core.ShardedLowering)
+		if !ok {
+			continue
+		}
+		if n := sl.ShardCount(); n > cp.stats.Shards {
+			cp.stats.Shards = n
+		}
+		if cut := sl.ShardEdgeCut(); cut > cp.stats.ShardEdgeCut {
+			cp.stats.ShardEdgeCut = cut
+		}
+		if f := sl.ShardScratchFloats(); f > scratchFloats {
+			scratchFloats = f
+		}
+	}
+	if scratchFloats > 0 {
+		cp.stats.ShardScratchFloats = scratchFloats
+		shardScratch := make([]float32, scratchFloats)
+		for i := range cp.steps {
+			if sl, ok := cp.steps[i].kern.(core.ShardedLowering); ok {
+				sl.BindShardScratch(shardScratch)
+			}
+		}
 	}
 
 	// Cross-check what the backend actually lowered: each kernel's declared

@@ -95,6 +95,59 @@ func Apply(g *graph.Graph, perm []int32) (*graph.Graph, error) {
 	return g.Relabel(perm)
 }
 
+// EdgeCut scores a partition: the fraction of edges whose endpoints lie in
+// different parts of owner (vertex id -> part id), in [0, 1]. It is the
+// companion metric to Locality for partitioned execution — Locality measures
+// how tight an ordering is, EdgeCut how little a partition communicates.
+// Vertices with an owner outside any part still count: only owner[src] ==
+// owner[dst] keeps an edge internal.
+func EdgeCut(g *graph.Graph, owner []int32) float64 {
+	m := g.NumEdges()
+	if m == 0 || len(owner) < g.NumVertices() {
+		return 0
+	}
+	cut := 0
+	for e := int32(0); e < int32(m); e++ {
+		s, d := g.EdgeEndpoints(e)
+		if owner[s] != owner[d] {
+			cut++
+		}
+	}
+	return float64(cut) / float64(m)
+}
+
+// BlockOwners turns an ordering permutation (old id -> new id) into a
+// k-part partition by cutting the new-id space into contiguous blocks of
+// ceil(n/k) vertices: owner[v] = block of perm[v]. A locality-improving
+// permutation therefore yields a locality-improving partition — the shard
+// partitioner scores candidate orderings this way with EdgeCut. k > n
+// produces trailing empty parts; k <= 0 is treated as 1.
+func BlockOwners(perm []int32, k int) []int32 {
+	n := len(perm)
+	owner := make([]int32, n)
+	if n == 0 {
+		return owner
+	}
+	if k <= 0 {
+		k = 1
+	}
+	block := (n + k - 1) / k
+	for v, p := range perm {
+		owner[v] = p / int32(block)
+	}
+	return owner
+}
+
+// Identity returns the identity permutation over n vertices, the "no
+// reordering" candidate partition seeds compare against.
+func Identity(n int) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	return perm
+}
+
 // Locality scores an ordering: the mean |src - dst| gap over edges,
 // normalised by vertex count (lower is better). Used to verify a reorder
 // actually tightened the graph.

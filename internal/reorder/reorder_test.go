@@ -102,6 +102,74 @@ func TestDegreeSort(t *testing.T) {
 	}
 }
 
+func TestEdgeCutRange(t *testing.T) {
+	g := clusteredButScrambled(t, 1000, 50, 4)
+	for _, k := range []int{1, 2, 7, 20, 1000, 2000} {
+		cut := EdgeCut(g, BlockOwners(Identity(g.NumVertices()), k))
+		if cut < 0 || cut > 1 {
+			t.Errorf("k=%d: edge cut %v outside [0,1]", k, cut)
+		}
+	}
+}
+
+func TestEdgeCutSinglePartIsZero(t *testing.T) {
+	g := clusteredButScrambled(t, 500, 25, 3)
+	if cut := EdgeCut(g, BlockOwners(Identity(g.NumVertices()), 1)); cut != 0 {
+		t.Errorf("one part must cut nothing, got %v", cut)
+	}
+}
+
+// TestEdgeCutRecoversClusters is the property the partition-seed selection
+// rests on: on a clustered-but-scrambled graph, block-partitioning the BFS
+// ordering must cut far fewer edges than block-partitioning the scrambled
+// identity ordering, because BFS re-groups each cluster into one block.
+func TestEdgeCutRecoversClusters(t *testing.T) {
+	const n, clusterSize = 2000, 50
+	g := clusteredButScrambled(t, n, clusterSize, 4)
+	k := n / clusterSize // one block per cluster
+	scrambled := EdgeCut(g, BlockOwners(Identity(n), k))
+	bfs := EdgeCut(g, BlockOwners(BFS(g), k))
+	if bfs >= scrambled*0.5 {
+		t.Errorf("BFS blocks should halve the edge cut: scrambled %.4f bfs %.4f", scrambled, bfs)
+	}
+}
+
+func TestEdgeCutDeterministic(t *testing.T) {
+	g := clusteredButScrambled(t, 800, 40, 3)
+	owner := BlockOwners(BFS(g), 10)
+	if EdgeCut(g, owner) != EdgeCut(g, owner) {
+		t.Fatal("EdgeCut must be deterministic")
+	}
+}
+
+func TestBlockOwnersShapes(t *testing.T) {
+	perm := Identity(10)
+	for _, tc := range []struct {
+		k       int
+		maxPart int32
+	}{{1, 0}, {3, 2}, {10, 9}, {25, 9}} {
+		owner := BlockOwners(perm, tc.k)
+		if len(owner) != 10 {
+			t.Fatalf("k=%d: owner length %d", tc.k, len(owner))
+		}
+		var hi int32
+		for _, p := range owner {
+			if p < 0 {
+				t.Fatalf("k=%d: negative part %d", tc.k, p)
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		if hi != tc.maxPart {
+			t.Errorf("k=%d: max part %d, want %d", tc.k, hi, tc.maxPart)
+		}
+	}
+	if got := BlockOwners(nil, 4); len(got) != 0 {
+		t.Errorf("empty perm should give empty owners")
+	}
+}
+
 func TestLocalityEdgeCases(t *testing.T) {
 	g, err := graph.FromCOO(0, nil, nil)
 	if err != nil {

@@ -1,0 +1,438 @@
+// Package shard partitions a graph into K cache-sized shards for
+// partition-aware kernel execution: each shard is a self-contained sub-CSR
+// over the vertices it owns, with an explicit halo set (boundary vertices
+// owned by other shards whose features the shard reads) and stable
+// global<->local id maps.
+//
+// Edges are assigned by destination ownership: the shard that owns a
+// vertex owns all of its incoming edges. Every output row therefore has
+// exactly one producing shard, which is what makes the backend's two-level
+// reduction deterministic — intra-shard reductions land in disjoint
+// shard-local partials, and the cross-shard merge folds them in canonical
+// shard order with no write conflicts possible. Cross-shard *reads* (a local
+// edge whose source lives elsewhere) are exactly the halo set; the verifier
+// proves the halo covers all of them.
+//
+// The partitioner is locality-aware, not just size-aware: it scores block
+// partitions of three candidate orderings — the graph's own id order,
+// reorder.BFS and reorder.DegreeSort — with reorder.EdgeCut and keeps the
+// cheapest, so community structure recoverable by a reordering becomes low
+// communication volume. Every plan is verified by analysis.VerifyShardPlan
+// before it is returned; a wrong plan is unrepresentable as a successful
+// Partition. The paired faultinject.CorruptShardPlan point corrupts only
+// the verified view (never the plan itself) to prove each rule fires.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/reorder"
+	"repro/internal/telemetry"
+)
+
+// MaxShards bounds the shard count a plan may request; beyond it per-shard
+// bookkeeping dwarfs any locality gain.
+const MaxShards = 4096
+
+// Auto-sizing targets for Partition(g, 0): a shard's owned working set is
+// capped at ~8Ki vertices (one float32 feature row of width 64 per vertex is
+// then ~2 MiB — an L2-slice-sized partial buffer) and ~128Ki edges so
+// skewed graphs still split by traffic, not just by vertex count.
+const (
+	autoShardVertices = 1 << 13
+	autoShardEdges    = 1 << 17
+)
+
+// Shard is one partition element: the sub-CSR over its owned vertices plus
+// the id maps kernels use to resolve global feature rows.
+type Shard struct {
+	// ID is the shard's index in its plan.
+	ID int
+	// Owned lists the global vertex ids this shard owns, ascending. The
+	// shard produces exactly the output rows of these vertices.
+	Owned []int32
+	// Halo lists the global vertex ids this shard reads but does not own
+	// (sources of its edges living in other shards), ascending and disjoint
+	// from Owned.
+	Halo []int32
+	// Ptr is the local incoming-CSR row pointer: the edges of Owned[i] are
+	// slots Ptr[i]..Ptr[i+1].
+	Ptr []int32
+	// Src holds the local source id of each edge slot: an index into L2G.
+	Src []int32
+	// Edge holds the global edge id of each slot, so edge-feature tensors
+	// stay addressable from inside a shard.
+	Edge []int32
+	// L2G is the local->global vertex id map: Owned followed by Halo.
+	L2G []int32
+}
+
+// NumOwned reports how many vertices the shard owns.
+func (s *Shard) NumOwned() int { return len(s.Owned) }
+
+// NumHalo reports the halo size.
+func (s *Shard) NumHalo() int { return len(s.Halo) }
+
+// NumEdges reports how many edges the shard covers.
+func (s *Shard) NumEdges() int { return len(s.Edge) }
+
+// GlobalOf maps a local vertex id back to its global id.
+func (s *Shard) GlobalOf(local int32) int32 { return s.L2G[local] }
+
+// LocalOf maps a global vertex id to the shard's local id space: owned
+// vertices map to [0, NumOwned), halo vertices to [NumOwned, NumOwned+
+// NumHalo). The second result is false when the vertex is neither owned nor
+// in the halo.
+func (s *Shard) LocalOf(global int32) (int32, bool) {
+	if i, ok := searchInt32(s.Owned, global); ok {
+		return int32(i), true
+	}
+	if i, ok := searchInt32(s.Halo, global); ok {
+		return int32(len(s.Owned) + i), true
+	}
+	return 0, false
+}
+
+// OwnsLocal reports whether a local id refers to an owned vertex (as
+// opposed to a halo entry).
+func (s *Shard) OwnsLocal(local int32) bool { return int(local) < len(s.Owned) }
+
+// searchInt32 binary-searches an ascending slice for v.
+func searchInt32(xs []int32, v int32) (int, bool) {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	return i, i < len(xs) && xs[i] == v
+}
+
+// Plan is a verified partition of one graph into K shards.
+type Plan struct {
+	// NumVertices / NumEdges describe the partitioned graph.
+	NumVertices int
+	NumEdges    int
+	// K is the shard count (== len(Shards); trailing shards may be empty
+	// when K exceeds the vertex count).
+	K int
+	// Shards are the partition elements, indexed by shard id.
+	Shards []Shard
+	// Owner maps each global vertex id to its owning shard.
+	Owner []int32
+	// MergeOrder is the canonical order shard partials fold into the
+	// output: ascending shard id, pinned by the shard-merge-order rule.
+	MergeOrder []int32
+	// EdgeCut is the fraction of edges whose endpoints live in different
+	// shards (reorder.EdgeCut of the chosen partition).
+	EdgeCut float64
+	// HaloTotal is the summed halo size across shards — the replicated
+	// read volume the partition costs.
+	HaloTotal int
+	// Seed names the ordering that won the partition-seed selection
+	// ("identity", "bfs" or "degree").
+	Seed string
+}
+
+// OwnerOf returns the shard owning global vertex v.
+func (p *Plan) OwnerOf(v int32) int32 { return p.Owner[v] }
+
+// seedCandidate is one ordering the partitioner scores.
+type seedCandidate struct {
+	name string
+	perm func(g *graph.Graph) []int32
+}
+
+var seedCandidates = []seedCandidate{
+	{"identity", func(g *graph.Graph) []int32 { return reorder.Identity(g.NumVertices()) }},
+	{"bfs", reorder.BFS},
+	{"degree", reorder.DegreeSort},
+}
+
+// AutoShards returns the shard count Partition picks for k == 0: enough
+// shards that each holds at most ~8Ki owned vertices and ~128Ki edges,
+// clamped to [1, MaxShards].
+func AutoShards(g *graph.Graph) int {
+	byV := (g.NumVertices() + autoShardVertices - 1) / autoShardVertices
+	byE := (g.NumEdges() + autoShardEdges - 1) / autoShardEdges
+	k := byV
+	if byE > k {
+		k = byE
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > MaxShards {
+		k = MaxShards
+	}
+	return k
+}
+
+// Partition splits g into k shards. k == 0 auto-sizes from the cache
+// budget (AutoShards); k == 1 yields the trivial single-shard plan; k may
+// exceed the vertex count, leaving trailing shards empty. The returned plan
+// has passed analysis.VerifyShardPlan — a plan violating the shard rules is
+// returned as an error, never as a value.
+func Partition(g *graph.Graph, k int) (*Plan, error) {
+	if k < 0 || k > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [0, %d]", k, MaxShards)
+	}
+	if k == 0 {
+		k = AutoShards(g)
+	}
+	numV := g.NumVertices()
+
+	// Seed selection: block-partition each candidate ordering and keep the
+	// one that cuts the fewest edges. Ties keep the earlier (cheaper)
+	// candidate; a single shard cuts nothing by construction.
+	var owner []int32
+	seed := seedCandidates[0].name
+	if k == 1 || numV == 0 {
+		owner = make([]int32, numV)
+	} else {
+		bestCut := math.Inf(1)
+		for _, cand := range seedCandidates {
+			o := reorder.BlockOwners(cand.perm(g), k)
+			if cut := reorder.EdgeCut(g, o); cut < bestCut {
+				bestCut, owner, seed = cut, o, cand.name
+			}
+		}
+	}
+
+	p := buildPlan(g, k, owner, seed)
+	if err := verifyPlan(p, g); err != nil {
+		return nil, err
+	}
+	recordStats(p)
+	return p, nil
+}
+
+// buildPlan assembles the per-shard sub-CSRs from a vertex->shard owner map.
+func buildPlan(g *graph.Graph, k int, owner []int32, seed string) *Plan {
+	numV, numE := g.NumVertices(), g.NumEdges()
+	p := &Plan{
+		NumVertices: numV, NumEdges: numE, K: k,
+		Shards: make([]Shard, k),
+		Owner:  owner,
+		Seed:   seed,
+	}
+	p.MergeOrder = make([]int32, k)
+	for s := range p.MergeOrder {
+		p.MergeOrder[s] = int32(s)
+	}
+
+	// Owned lists, ascending by construction of the walk.
+	for v := int32(0); v < int32(numV); v++ {
+		s := &p.Shards[owner[v]]
+		s.Owned = append(s.Owned, v)
+	}
+
+	cutEdges := 0
+	for si := range p.Shards {
+		s := &p.Shards[si]
+		s.ID = si
+
+		// Halo: foreign sources of the shard's edges, sorted + deduplicated.
+		for _, v := range s.Owned {
+			srcs, _ := g.InEdges(v)
+			for _, u := range srcs {
+				if owner[u] != int32(si) {
+					s.Halo = append(s.Halo, u)
+					cutEdges++
+				}
+			}
+		}
+		sort.Slice(s.Halo, func(a, b int) bool { return s.Halo[a] < s.Halo[b] })
+		s.Halo = dedupSorted(s.Halo)
+
+		s.L2G = make([]int32, 0, len(s.Owned)+len(s.Halo))
+		s.L2G = append(s.L2G, s.Owned...)
+		s.L2G = append(s.L2G, s.Halo...)
+
+		// Local incoming CSR over the owned vertices, preserving the global
+		// CSR's slot order inside each row.
+		s.Ptr = make([]int32, len(s.Owned)+1)
+		for i, v := range s.Owned {
+			s.Ptr[i+1] = s.Ptr[i] + g.InDegree(v)
+		}
+		n := int(s.Ptr[len(s.Owned)])
+		s.Src = make([]int32, n)
+		s.Edge = make([]int32, n)
+		for i, v := range s.Owned {
+			srcs, eids := g.InEdges(v)
+			base := int(s.Ptr[i])
+			for j, u := range srcs {
+				local, ok := s.LocalOf(u)
+				if !ok {
+					// Invariant, not input-reachable: u is owned here or was
+					// just added to the halo, so the id map must resolve it.
+					panic("shard: source vertex missing from the shard id map")
+				}
+				s.Src[base+j] = local
+				s.Edge[base+j] = eids[j]
+			}
+		}
+		p.HaloTotal += len(s.Halo)
+	}
+	if numE > 0 {
+		p.EdgeCut = float64(cutEdges) / float64(numE)
+	}
+	return p
+}
+
+// dedupSorted removes adjacent duplicates in place.
+func dedupSorted(xs []int32) []int32 {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// verifyPlan runs the mandatory shard-plan verification. The facts are a
+// view of the plan; the CorruptShardPlan fault mutates only that view (fresh
+// slices replace the corrupted parts), so an armed corruption proves a rule
+// fires without ever producing a broken plan object.
+func verifyPlan(p *Plan, g *graph.Graph) error {
+	facts := factsOf(p, g)
+	if faultinject.Fire(faultinject.CorruptShardPlan) {
+		corruptFacts(&facts, faultinject.SpecOf(faultinject.CorruptShardPlan).Seed)
+	}
+	if err := analysis.VerifyShardPlan(facts); err != nil {
+		return fmt.Errorf("shard: plan for %d shards rejected: %w", p.K, err)
+	}
+	return nil
+}
+
+// factsOf builds the verifier's view of a plan. Slices alias the plan
+// except MergeOrder, which corruption variant 3 mutates in place.
+func factsOf(p *Plan, g *graph.Graph) analysis.ShardFacts {
+	f := analysis.ShardFacts{
+		NumVertices: p.NumVertices,
+		NumEdges:    p.NumEdges,
+		EdgeSrc:     g.EdgeSrcs(),
+		EdgeDst:     g.EdgeDsts(),
+		Owner:       p.Owner,
+		Shards:      make([]analysis.ShardView, len(p.Shards)),
+		MergeOrder:  append([]int32(nil), p.MergeOrder...),
+	}
+	for i := range p.Shards {
+		s := &p.Shards[i]
+		f.Shards[i] = analysis.ShardView{
+			Owned: s.Owned, Halo: s.Halo, Ptr: s.Ptr,
+			Src: s.Src, Edge: s.Edge, L2G: s.L2G,
+		}
+	}
+	return f
+}
+
+// corruptFacts applies one deliberate inconsistency to the verified view.
+// Every mutation builds a fresh slice first — the plan the facts alias is
+// never touched.
+func corruptFacts(f *analysis.ShardFacts, seed uint64) {
+	switch seed {
+	case 0: // duplicate an edge: breaks exactly-once coverage
+		for i := range f.Shards {
+			if e := f.Shards[i].Edge; len(e) >= 2 {
+				bad := append([]int32(nil), e...)
+				bad[0] = bad[len(bad)-1]
+				f.Shards[i].Edge = bad
+				return
+			}
+		}
+		for i := range f.Shards {
+			if e := f.Shards[i].Edge; len(e) == 1 {
+				f.Shards[i].Edge = []int32{int32(f.NumEdges)}
+				return
+			}
+		}
+	case 1: // point a halo entry at a self-owned vertex
+		for i := range f.Shards {
+			if len(f.Shards[i].Halo) >= 1 && len(f.Shards[i].Owned) >= 1 {
+				bad := append([]int32(nil), f.Shards[i].Halo...)
+				bad[0] = f.Shards[i].Owned[0]
+				f.Shards[i].Halo = bad
+				return
+			}
+		}
+	case 2: // double-own a vertex across two shards
+		first := -1
+		for i := range f.Shards {
+			if len(f.Shards[i].Owned) == 0 {
+				continue
+			}
+			if first < 0 {
+				first = i
+				continue
+			}
+			v := f.Shards[first].Owned[0]
+			bad := append([]int32{v}, f.Shards[i].Owned...)
+			sort.Slice(bad, func(a, b int) bool { return bad[a] < bad[b] })
+			f.Shards[i].Owned = bad
+			return
+		}
+	default: // scramble the merge order
+		if len(f.MergeOrder) >= 2 {
+			f.MergeOrder[0], f.MergeOrder[1] = f.MergeOrder[1], f.MergeOrder[0]
+		} else if len(f.MergeOrder) == 1 {
+			f.MergeOrder[0] = 1
+		}
+	}
+}
+
+// Partition-quality counters, surfaced so tooling (ugrapher-bench -json)
+// can report the partition behind a result without replaying it.
+var (
+	partitions    atomic.Int64
+	lastShards    atomic.Int64
+	lastEdgeCut   atomic.Uint64 // float64 bits
+	lastHaloTotal atomic.Int64
+)
+
+// PartitionStats snapshots the package counters.
+type PartitionStats struct {
+	// Partitions is how many plans Partition built (and verified).
+	Partitions int64
+	// LastShards / LastEdgeCut / LastHaloTotal describe the most recent plan.
+	LastShards    int
+	LastEdgeCut   float64
+	LastHaloTotal int
+}
+
+// Stats reads the partition counters.
+func Stats() PartitionStats {
+	return PartitionStats{
+		Partitions:    partitions.Load(),
+		LastShards:    int(lastShards.Load()),
+		LastEdgeCut:   math.Float64frombits(lastEdgeCut.Load()),
+		LastHaloTotal: int(lastHaloTotal.Load()),
+	}
+}
+
+// Telemetry gauge names for the most recent partition.
+const (
+	GaugeShardCount = "ugrapher_shard_count"
+	GaugeEdgeCut    = "ugrapher_shard_edgecut_fraction"
+	GaugeHaloTotal  = "ugrapher_shard_halo_total"
+)
+
+// recordStats publishes a verified plan's shape to the package counters and,
+// when telemetry is armed, the shard gauges.
+func recordStats(p *Plan) {
+	partitions.Add(1)
+	lastShards.Store(int64(p.K))
+	lastEdgeCut.Store(math.Float64bits(p.EdgeCut))
+	lastHaloTotal.Store(int64(p.HaloTotal))
+	if telemetry.Enabled() {
+		r := telemetry.Default()
+		r.Gauge(GaugeShardCount).Set(float64(p.K))
+		r.Gauge(GaugeEdgeCut).Set(p.EdgeCut)
+		r.Gauge(GaugeHaloTotal).Set(float64(p.HaloTotal))
+	}
+}
