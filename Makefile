@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-models bench-obs bench-shard race vet faults obs lint verify
+.PHONY: build test check bench bench-models bench-obs bench-shard bench-fusion race vet faults obs lint verify
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ verify:
 # layer's fault-injection points, and the graph loaders) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/... ./internal/faultinject/... ./internal/graph/... ./internal/telemetry/... ./internal/shard/... ./internal/reorder/...
+	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/... ./internal/faultinject/... ./internal/graph/... ./internal/telemetry/... ./internal/shard/... ./internal/reorder/... ./internal/tensor/... ./internal/analysis/...
 
 # faults runs the fault-injection suite under the race detector: injected
 # kernel panics, NaN pokes, slow chunks and lowering failures, each proven
@@ -71,3 +71,10 @@ bench-models:
 # BENCH_shard.json the machine-readable summary.
 bench-shard:
 	$(GO) test -run '^$$' -bench BenchmarkForwardSharded -benchmem .
+
+# bench-fusion compares cost-modeled fusion regions against classic pair
+# fusion on all six models over AR and PR (kernel launches before/after,
+# steady-state wall clock), writing BENCH_fusion.json as the committed
+# machine-readable summary.
+bench-fusion:
+	$(GO) run ./cmd/ugrapher-bench -quick -datasets AR,PR -json BENCH_fusion.json ext-fusion

@@ -27,6 +27,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/program"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
@@ -182,6 +183,11 @@ type experimentSummary struct {
 	Quick   bool    `json:"quick"`
 	WallMs  float64 `json:"wall_ms"`
 	Rows    int     `json:"rows"`
+	// FusedRegions and GemmBlocked count fusion regions grown and GEMM steps
+	// lowered through the packed blocked path while the experiment ran
+	// (process-wide compile counters diffed around the run).
+	FusedRegions int64 `json:"fused_regions"`
+	GemmBlocked  int64 `json:"gemm_blocked"`
 	// Verified reports whether the static analysis ran over the experiment's
 	// compiled artifacts and found no violations. False means no plan or
 	// program was compiled during the run (nothing was verified) — a clean
@@ -208,12 +214,14 @@ func runOne(e bench.Experiment, opts bench.Options, csvOut bool, summaries *[]ex
 	start := time.Now()
 	vsBefore := analysis.Stats()
 	spBefore := shard.Stats()
+	gcBefore := program.GlobalStats()
 	tab, err := e.Run(opts)
 	if err != nil {
 		return err
 	}
 	vsAfter := analysis.Stats()
 	spAfter := shard.Stats()
+	gcAfter := program.GlobalStats()
 	var edgeCut float64
 	if spAfter.Partitions > spBefore.Partitions {
 		edgeCut = spAfter.LastEdgeCut
@@ -233,16 +241,18 @@ func runOne(e bench.Experiment, opts bench.Options, csvOut bool, summaries *[]ex
 	fmt.Printf("(%s: simulated cycles in table; host wall-clock %v, backend=%s)\n\n",
 		e.ID, wall.Round(time.Millisecond), b.Name())
 	*summaries = append(*summaries, experimentSummary{
-		Experiment: e.ID,
-		Title:      e.Title,
-		Datasets:   opts.Datasets,
-		Backend:    b.Name(),
-		Workers:    core.Workers(b),
-		Shards:     core.DefaultShards(),
-		EdgeCut:    edgeCut,
-		Quick:      opts.Quick,
-		WallMs:     float64(wall.Microseconds()) / 1e3,
-		Rows:       len(tab.Rows),
+		Experiment:   e.ID,
+		Title:        e.Title,
+		Datasets:     opts.Datasets,
+		Backend:      b.Name(),
+		Workers:      core.Workers(b),
+		Shards:       core.DefaultShards(),
+		EdgeCut:      edgeCut,
+		Quick:        opts.Quick,
+		WallMs:       float64(wall.Microseconds()) / 1e3,
+		Rows:         len(tab.Rows),
+		FusedRegions: gcAfter.FusedRegions - gcBefore.FusedRegions,
+		GemmBlocked:  gcAfter.GemmBlocked - gcBefore.GemmBlocked,
 		Verified: (vsAfter.Plans > vsBefore.Plans || vsAfter.Programs > vsBefore.Programs) &&
 			vsAfter.Violations == vsBefore.Violations,
 	})

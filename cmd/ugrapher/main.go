@@ -207,6 +207,8 @@ func runModel(ctx context.Context, dataset, graphFile, name string, feat, classe
 		fmt.Printf("sharding: %d shards, edge-cut=%.3f, scratch=%.1f MiB\n",
 			s.Shards, s.ShardEdgeCut, float64(s.ShardScratchFloats)*4/(1<<20))
 	}
+	fmt.Printf("fusion: %d regions grown, %d kernel launches, %.1f KiB traffic saved, %d blocked GEMMs\n",
+		s.FusedRegions, s.Steps, float64(s.RegionSavedBytes)/(1<<10), s.GemmBlocked)
 	fmt.Printf("compile: %v (record + fuse + schedule + buffer-plan, paid once)\n", compileTime.Round(time.Microsecond))
 	fmt.Printf("steady-state: %v/run over %d runs (zero allocations per run)\n", per.Round(time.Microsecond), runs)
 	return nil

@@ -50,6 +50,16 @@ const (
 	// missing from the compiled program without being folded into a fused
 	// pair, or a surviving node reads a value no surviving node defines.
 	RuleDCESoundness = "dce-soundness"
+	// RuleFusionRegion: a fusion region does not decompose back into the
+	// pre-fusion program — its absorbed pre/post chains do not match
+	// recorded elementwise nodes, an erased interior value had more than
+	// one consumer (the read-after-scatter case generalised to regions), or
+	// the region's base operator disagrees with the recorded graph node.
+	RuleFusionRegion = "fusion-region"
+	// RuleFusionRegionCost: a region's claimed saved-traffic bytes are
+	// negative or exceed the independently recomputed upper bound for the
+	// nodes it absorbed — the cost model's accounting is corrupt.
+	RuleFusionRegionCost = "fusion-region-cost"
 	// RuleBufferAlias: two values with overlapping live intervals share an
 	// arena slot (read-while-write hazard), or a live value has no slot.
 	RuleBufferAlias = "buffer-alias"
@@ -79,7 +89,8 @@ const (
 // ProgramRules lists the rules VerifyProgram checks, in report order.
 var ProgramRules = []string{
 	RuleSSAForm, RuleOperandType,
-	RuleFusionPair, RuleFusionSingleConsumer, RuleDCESoundness,
+	RuleFusionPair, RuleFusionSingleConsumer,
+	RuleFusionRegion, RuleFusionRegionCost, RuleDCESoundness,
 	RuleBufferAlias, RuleBufferCapacity, RuleInPlace,
 }
 

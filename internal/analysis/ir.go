@@ -71,6 +71,14 @@ type IRValue struct {
 	Const bool
 }
 
+// Elem is one elementwise unary op of a chain, mirrored from
+// program.Unary in primitive form so the verifier can compare chains
+// without importing program.
+type Elem struct {
+	Kind  uint8
+	Alpha float32
+}
+
 // IRNode is one operation of the DAG. X and Y are operand value ids
 // (NoValue when absent); Out is the defined value.
 type IRNode struct {
@@ -83,6 +91,17 @@ type IRNode struct {
 	// Fused marks graph nodes the fusion pass created by merging a
 	// materialise+scatter pair of the pre-fusion program.
 	Fused bool
+	// Chain is the elementwise op sequence of KindUnary nodes.
+	Chain []Elem
+	// HasRegion marks graph nodes the region-fusion pass extended beyond
+	// the bare pair rewrite: PreX/PreY are elementwise chains absorbed into
+	// the operand reads, Post is the epilogue chain applied to the output,
+	// and RegionSavedBytes is the intermediate traffic the cost model
+	// claims the region saves. The fusion-region rules re-derive all four
+	// from the pre-fusion program.
+	HasRegion        bool
+	PreX, PreY, Post []Elem
+	RegionSavedBytes int64
 }
 
 // ProgramIR is the verifier's view of one program: nodes in topological
@@ -118,6 +137,10 @@ type ProgramCheck struct {
 	Pre     *ProgramIR
 	Post    *ProgramIR
 	Plan    *BufferFacts
+	// NumVertices and NumEdges size the compilation graph; the
+	// fusion-region cost rule needs them to bound claimed byte savings.
+	// When both are zero the cost bound is skipped (sign checks still run).
+	NumVertices, NumEdges int
 }
 
 // VerifyProgram runs every program-level rule over c and returns a
@@ -135,7 +158,7 @@ func VerifyProgram(c ProgramCheck) error {
 	diags = append(diags, checkSSA(c.Post)...)
 	diags = append(diags, checkOperandTypes(c.Post)...)
 	if c.Pre != nil {
-		diags = append(diags, checkFusion(c.Pre, c.Post)...)
+		diags = append(diags, checkFusion(c.Pre, c.Post, c.NumVertices, c.NumEdges)...)
 	}
 	if c.Plan != nil {
 		diags = append(diags, checkBuffers(c.Post, c.Plan)...)

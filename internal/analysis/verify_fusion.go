@@ -34,11 +34,25 @@ func isScatter(n *IRNode) bool {
 		n.Op.CKind == tensor.DstV
 }
 
+// elemsEqual reports element-wise equality of two unary chains.
+func elemsEqual(a, b []Elem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // checkFusion cross-checks the compiled program against the pre-fusion
 // program: fused nodes must correspond to legal materialise+scatter pairs,
-// unfused nodes must match their recorded originals, and every live
+// region nodes must decompose back into recorded chains around a legal
+// base, unfused nodes must match their recorded originals, and every live
 // recorded node must be accounted for.
-func checkFusion(pre, post *ProgramIR) []Diagnostic {
+func checkFusion(pre, post *ProgramIR, numV, numE int) []Diagnostic {
 	var diags []Diagnostic
 
 	// Index the pre program: defining node per value, consumer counts, and
@@ -75,6 +89,10 @@ func checkFusion(pre, post *ProgramIR) []Diagnostic {
 	accounted := make([]bool, len(pre.Nodes))
 	for pi := range post.Nodes {
 		n := &post.Nodes[pi]
+		if n.HasRegion {
+			diags = append(diags, checkRegion(pre, n, preDef, uses, accounted, numV, numE)...)
+			continue
+		}
 		if n.Fused {
 			diags = append(diags, checkFusedPair(pre, n, preDef, uses, accounted)...)
 			continue
@@ -93,7 +111,8 @@ func checkFusion(pre, post *ProgramIR) []Diagnostic {
 		}
 		o := &pre.Nodes[i]
 		if o.Kind != n.Kind || o.X != n.X || o.Y != n.Y ||
-			(n.Kind == KindGraph && o.Op != n.Op) {
+			(n.Kind == KindGraph && o.Op != n.Op) ||
+			(n.Kind == KindUnary && !elemsEqual(o.Chain, n.Chain)) {
 			diags = append(diags, Diagnostic{
 				Rule: RuleFusionPair, Node: n.Name, Values: []int{n.Out},
 				Msg:  fmt.Sprintf("compiled node (%s %s) differs from recorded node (%s %s) without a fusion marker", n.Kind, n.Op, o.Kind, o.Op),
@@ -181,6 +200,210 @@ func checkFusedPair(pre *ProgramIR, n *IRNode, preDef map[int]int, uses map[int]
 		pair(fmt.Sprintf("fused operator %s over values (%d,%d) does not merge the pair %s + %s over (%d,%d)",
 			n.Op, n.X, n.Y, mat.Op, scat.Op, mat.X, mat.Y),
 			"the fused op must be edge_op(mat) + gather_op(scat) over the materialise's operands")
+	}
+	return diags
+}
+
+// regionOverheadBytes is the verifier's own per-absorbed-kernel launch
+// allowance for the region cost bound. It is declared here, independent of
+// program.DefaultCostModel, on purpose: the bound must not inherit a bug in
+// the cost model it checks.
+const regionOverheadBytes = 1 << 14
+
+// checkRegion verifies one fusion-region node against the pre-fusion
+// program it claims to absorb: the post/pre elementwise chains must
+// decompose into recorded unary nodes, every erased interior value must
+// have had exactly one consumer and not be the program output (no value may
+// be read again after the region computes — the read-after-scatter rule
+// generalised from pairs to regions), the region's base must be a recorded
+// graph node or a legal fused pair, and the claimed byte savings must stay
+// within an independently recomputed bound. All absorbed recorded nodes are
+// marked accounted so DCE soundness sees them as surviving.
+func checkRegion(pre *ProgramIR, n *IRNode, preDef map[int]int, uses map[int]int, accounted []bool, numV, numE int) []Diagnostic {
+	var diags []Diagnostic
+	region := func(msg, hint string, vals ...int) {
+		diags = append(diags, Diagnostic{Rule: RuleFusionRegion, Node: n.Name, Values: vals, Msg: msg, Hint: hint})
+	}
+	bytesOf := func(val int) int64 {
+		if val < 0 || val >= len(pre.Values) {
+			return 0
+		}
+		v := pre.Values[val]
+		rows := int64(numV)
+		if v.Rows == EdgeRows {
+			rows = int64(numE)
+		}
+		return 4 * rows * int64(v.Cols)
+	}
+	var maxSaved int64
+
+	// interior checks that an erased in-region value was consumed exactly
+	// once and is not the program output: anything else still needs the
+	// value after the region runs.
+	interior := func(val int) {
+		if uses[val] != 1 || val == pre.Output {
+			what := fmt.Sprintf("%d consumers", uses[val])
+			if val == pre.Output {
+				what = "the program output"
+			}
+			region(fmt.Sprintf("region erased interior value %d which has %s", val, what),
+				"a region may only absorb values consumed exactly once inside it", val)
+		}
+	}
+
+	// peel walks producer-wards from value `from`, matching recorded unary
+	// nodes against the tail of chain until it is exhausted, and returns the
+	// value the chain started from (or -1 on a mismatch, already diagnosed).
+	//
+	// Which value each step erases differs by direction. An epilogue peel
+	// starts at the region output (live, legally multi-consumer) and erases
+	// each peeled node's *input*; a prologue peel starts at the base
+	// operator's erased operand and ends at the region's live operand, so it
+	// erases the value it is *about to peel through*. The bound likewise: an
+	// epilogue node saves at most one write+read round trip of its erased
+	// input plus one launch; a prologue node saves at most the launch (its
+	// source is still materialised for the staging copy).
+	peel := func(chain []Elem, from int, what string, epilogue bool) int {
+		rem := chain
+		for len(rem) > 0 {
+			if !epilogue {
+				interior(from)
+			}
+			di, ok := preDef[from]
+			if !ok {
+				region(fmt.Sprintf("%s chain reaches value %d that no recorded node defines", what, from),
+					"absorbed chains must decompose into recorded unary nodes", from)
+				return -1
+			}
+			d := &pre.Nodes[di]
+			if d.Kind != KindUnary || len(d.Chain) == 0 || len(d.Chain) > len(rem) ||
+				!elemsEqual(d.Chain, rem[len(rem)-len(d.Chain):]) {
+				region(fmt.Sprintf("%s chain tail does not match recorded node %q defining value %d", what, d.Name, from),
+					"each absorbed chain segment must equal a recorded unary node's chain", from)
+				return -1
+			}
+			accounted[di] = true
+			rem = rem[:len(rem)-len(d.Chain)]
+			if epilogue {
+				interior(d.X)
+				maxSaved += 2*bytesOf(d.X) + regionOverheadBytes
+			} else {
+				maxSaved += regionOverheadBytes
+			}
+			from = d.X
+		}
+		return from
+	}
+
+	// 1. Post epilogue: the region output must peel back through the
+	// absorbed unary nodes to the base operator's output value.
+	cur := peel(n.Post, n.Out, "post", true)
+	if cur < 0 {
+		return diags
+	}
+
+	// 2. The base operator.
+	bi, ok := preDef[cur]
+	if !ok {
+		region(fmt.Sprintf("region base value %d has no recorded definition", cur),
+			"the region must sit over a recorded graph operator", cur)
+		return diags
+	}
+	var baseX, baseY int
+	if n.Fused {
+		scat := &pre.Nodes[bi]
+		accounted[bi] = true
+		if !isScatter(scat) {
+			region(fmt.Sprintf("recorded node defining value %d is not a canonical scatter (%s)", cur, scat.Op),
+				"a fused region base must be a copy_rhs->reduce->Dst_V scatter", cur)
+			return diags
+		}
+		mi, ok := preDef[scat.Y]
+		if !ok {
+			region(fmt.Sprintf("scatter input value %d has no recorded definition", scat.Y),
+				"the fused pair's intermediate must be a recorded value", scat.Y)
+			return diags
+		}
+		mat := &pre.Nodes[mi]
+		accounted[mi] = true
+		if !isMaterialise(mat) {
+			region(fmt.Sprintf("scatter input is not a canonical materialise (%s)", mat.Op),
+				"only edge-tensor copy-gather materialises may anchor a fused region", scat.Y)
+			return diags
+		}
+		if uses[mat.Out] != 1 || mat.Out == pre.Output {
+			what := fmt.Sprintf("%d consumers", uses[mat.Out])
+			if mat.Out == pre.Output {
+				what = "the program output"
+			}
+			diags = append(diags, Diagnostic{
+				Rule: RuleFusionSingleConsumer, Node: n.Name, Values: []int{mat.Out},
+				Msg:  fmt.Sprintf("fusion erased intermediate value %d which is %s", mat.Out, what),
+				Hint: "fuse only single-consumer materialise+scatter pairs",
+			})
+		}
+		want := ops.OpInfo{
+			EdgeOp:   mat.Op.EdgeOp,
+			GatherOp: scat.Op.GatherOp,
+			AKind:    mat.Op.AKind,
+			BKind:    mat.Op.BKind,
+			CKind:    tensor.DstV,
+		}
+		if n.Kind != KindGraph || n.Op != want {
+			diags = append(diags, Diagnostic{
+				Rule: RuleFusionPair, Node: n.Name, Values: []int{n.Out},
+				Msg:  fmt.Sprintf("region base operator %s does not merge the pair %s + %s", n.Op, mat.Op, scat.Op),
+				Hint: "the fused op must be edge_op(mat) + gather_op(scat)",
+			})
+		}
+		baseX, baseY = mat.X, mat.Y
+		maxSaved += 2*bytesOf(mat.Out) + regionOverheadBytes
+	} else {
+		base := &pre.Nodes[bi]
+		accounted[bi] = true
+		if base.Kind != KindGraph || base.Op != n.Op {
+			region(fmt.Sprintf("region base (%s %s) disagrees with recorded node %q (%s %s)",
+				n.Kind, n.Op, base.Name, base.Kind, base.Op),
+				"an unfused region must keep the recorded graph operator verbatim", cur)
+			return diags
+		}
+		baseX, baseY = base.X, base.Y
+	}
+
+	// 3. Operand prologues: the base's recorded operands must peel through
+	// the absorbed chains down to the compiled node's operands.
+	if got := peel(n.PreX, baseX, "preX", false); got >= 0 && got != n.X {
+		region(fmt.Sprintf("preX chain starts at value %d but the region reads %d", got, n.X),
+			"the absorbed operand chain must begin at the region's A operand", got, n.X)
+	}
+	if len(n.PreX) == 0 && baseX != n.X {
+		region(fmt.Sprintf("region reads A operand %d but the recorded base read %d", n.X, baseX),
+			"a region without a preX chain must keep the base operand", n.X, baseX)
+	}
+	if got := peel(n.PreY, baseY, "preY", false); got >= 0 && got != n.Y {
+		region(fmt.Sprintf("preY chain starts at value %d but the region reads %d", got, n.Y),
+			"the absorbed operand chain must begin at the region's B operand", got, n.Y)
+	}
+	if len(n.PreY) == 0 && baseY != n.Y {
+		region(fmt.Sprintf("region reads B operand %d but the recorded base read %d", n.Y, baseY),
+			"a region without a preY chain must keep the base operand", n.Y, baseY)
+	}
+
+	// 4. Cost sanity: the claimed saving must be non-negative and within
+	// the recomputed bound (skipped when the check carries no graph sizes).
+	if n.RegionSavedBytes < 0 {
+		diags = append(diags, Diagnostic{
+			Rule: RuleFusionRegionCost, Node: n.Name, Values: []int{n.Out},
+			Msg:  fmt.Sprintf("region claims negative saved bytes (%d)", n.RegionSavedBytes),
+			Hint: "the cost model must only accept regions with non-negative savings",
+		})
+	}
+	if numV > 0 && numE > 0 && n.RegionSavedBytes > maxSaved {
+		diags = append(diags, Diagnostic{
+			Rule: RuleFusionRegionCost, Node: n.Name, Values: []int{n.Out},
+			Msg:  fmt.Sprintf("region claims %d saved bytes, recomputed bound is %d", n.RegionSavedBytes, maxSaved),
+			Hint: "claimed savings must not exceed the absorbed nodes' traffic plus launch overhead",
+		})
 	}
 	return diags
 }

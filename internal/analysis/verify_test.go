@@ -206,6 +206,191 @@ func TestFusionRules(t *testing.T) {
 	})
 }
 
+// regionPre is the recorded four-kernel form behind a fused region with an
+// epilogue: input -> materialise copy_u -> scatter copy_e.sum -> relu.
+func regionPre() *ProgramIR {
+	return &ProgramIR{
+		Values: []IRValue{
+			{Rows: VertexRows, Cols: 4},
+			{Rows: EdgeRows, Cols: 4},
+			{Rows: VertexRows, Cols: 4},
+			{Rows: VertexRows, Cols: 4},
+		},
+		Nodes: []IRNode{
+			{Name: "input", Kind: KindInput, X: NoValue, Y: NoValue, Out: 0},
+			{Name: "mat", Kind: KindGraph, X: 0, Y: NoValue, Out: 1, Op: ops.CopyU},
+			{Name: "scat", Kind: KindGraph, X: NoValue, Y: 1, Out: 2, Op: ops.CopyESum},
+			{Name: "relu", Kind: KindUnary, X: 2, Y: NoValue, Out: 3, Chain: []Elem{{Kind: 1}}},
+		},
+		Input: 0, Output: 3,
+	}
+}
+
+// regionPost is the legally regioned form of regionPre: one graph node that
+// merges the pair and absorbs the relu epilogue.
+func regionPost() *ProgramIR {
+	return &ProgramIR{
+		Values: []IRValue{
+			{Rows: VertexRows, Cols: 4},
+			{Rows: EdgeRows, Cols: 4},   // dead after fusion
+			{Rows: VertexRows, Cols: 4}, // dead after absorption
+			{Rows: VertexRows, Cols: 4},
+		},
+		Nodes: []IRNode{
+			{Name: "input", Kind: KindInput, X: NoValue, Y: NoValue, Out: 0},
+			{Name: "aggr_region0", Kind: KindGraph, X: 0, Y: NoValue, Out: 3, Fused: true,
+				Op: ops.OpInfo{EdgeOp: ops.CopyLHS, GatherOp: ops.GatherSum,
+					AKind: tensor.SrcV, BKind: tensor.Null, CKind: tensor.DstV},
+				HasRegion: true, Post: []Elem{{Kind: 1}}, RegionSavedBytes: 960},
+		},
+		Input: 0, Output: 3,
+	}
+}
+
+func TestFusionRegionRules(t *testing.T) {
+	sizes := func(c ProgramCheck) ProgramCheck { c.NumVertices, c.NumEdges = 10, 30; return c }
+	t.Run("legal region with epilogue", func(t *testing.T) {
+		err := VerifyProgram(sizes(ProgramCheck{Pre: regionPre(), Post: regionPost()}))
+		if err != nil {
+			t.Fatalf("legal region rejected: %v", err)
+		}
+	})
+	t.Run("legal pair-degenerate region", func(t *testing.T) {
+		// A bare fused pair carrying region metadata (the trivial region).
+		pre := fusionPre()
+		post := fusionPost()
+		post.Nodes[1].HasRegion = true
+		post.Nodes[1].RegionSavedBytes = 960
+		if err := VerifyProgram(sizes(ProgramCheck{Pre: pre, Post: post})); err != nil {
+			t.Fatalf("pair-degenerate region rejected: %v", err)
+		}
+	})
+	t.Run("post chain mismatch", func(t *testing.T) {
+		post := regionPost()
+		post.Nodes[1].Post = []Elem{{Kind: 9}} // not what the recorded relu computes
+		wantRule(t, VerifyProgram(sizes(ProgramCheck{Pre: regionPre(), Post: post})), RuleFusionRegion)
+	})
+	t.Run("phantom extra post element", func(t *testing.T) {
+		post := regionPost()
+		post.Nodes[1].Post = append(post.Nodes[1].Post, Elem{Kind: 1})
+		wantRule(t, VerifyProgram(sizes(ProgramCheck{Pre: regionPre(), Post: post})), RuleFusionRegion)
+	})
+	t.Run("multi-consumer interior", func(t *testing.T) {
+		pre := regionPre()
+		// A second reader of the scatter output makes absorbing the relu illegal.
+		pre.Values = append(pre.Values, IRValue{Rows: VertexRows, Cols: 4})
+		pre.Nodes = append(pre.Nodes, IRNode{
+			Name: "relu2", Kind: KindUnary, X: 2, Y: NoValue, Out: 4, Chain: []Elem{{Kind: 1}}})
+		post := regionPost()
+		post.Values = append(post.Values, IRValue{Rows: VertexRows, Cols: 4})
+		wantRule(t, VerifyProgram(sizes(ProgramCheck{Pre: pre, Post: post})), RuleFusionRegion)
+	})
+	t.Run("interior is program output", func(t *testing.T) {
+		pre := regionPre()
+		pre.Output = 2 // the scatter output must stay materialised
+		post := regionPost()
+		post.Output = 2
+		wantRule(t, VerifyProgram(sizes(ProgramCheck{Pre: pre, Post: post})), RuleFusionRegion)
+	})
+	t.Run("negative claimed savings", func(t *testing.T) {
+		post := regionPost()
+		post.Nodes[1].RegionSavedBytes = -1
+		wantRule(t, VerifyProgram(sizes(ProgramCheck{Pre: regionPre(), Post: post})), RuleFusionRegionCost)
+	})
+	t.Run("inflated claimed savings", func(t *testing.T) {
+		post := regionPost()
+		post.Nodes[1].RegionSavedBytes = 1 << 50
+		wantRule(t, VerifyProgram(sizes(ProgramCheck{Pre: regionPre(), Post: post})), RuleFusionRegionCost)
+	})
+	t.Run("cost bound skipped without graph sizes", func(t *testing.T) {
+		post := regionPost()
+		post.Nodes[1].RegionSavedBytes = 1 << 50
+		if err := VerifyProgram(ProgramCheck{Pre: regionPre(), Post: post}); err != nil {
+			t.Fatalf("sizeless check should skip the bound: %v", err)
+		}
+	})
+	t.Run("unfused region over a plain graph base", func(t *testing.T) {
+		// input -> aggr -> relu absorbed as aggr+epilogue without pair fusion.
+		pre := &ProgramIR{
+			Values: []IRValue{
+				{Rows: VertexRows, Cols: 4},
+				{Rows: VertexRows, Cols: 4},
+				{Rows: VertexRows, Cols: 4},
+			},
+			Nodes: []IRNode{
+				{Name: "input", Kind: KindInput, X: NoValue, Y: NoValue, Out: 0},
+				{Name: "aggr", Kind: KindGraph, X: 0, Y: NoValue, Out: 1, Op: aggrSum},
+				{Name: "relu", Kind: KindUnary, X: 1, Y: NoValue, Out: 2, Chain: []Elem{{Kind: 1}}},
+			},
+			Input: 0, Output: 2,
+		}
+		post := &ProgramIR{
+			Values: []IRValue{
+				{Rows: VertexRows, Cols: 4},
+				{Rows: VertexRows, Cols: 4},
+				{Rows: VertexRows, Cols: 4},
+			},
+			Nodes: []IRNode{
+				{Name: "input", Kind: KindInput, X: NoValue, Y: NoValue, Out: 0},
+				{Name: "aggr_region0", Kind: KindGraph, X: 0, Y: NoValue, Out: 2, Op: aggrSum,
+					HasRegion: true, Post: []Elem{{Kind: 1}}, RegionSavedBytes: 320},
+			},
+			Input: 0, Output: 2,
+		}
+		if err := VerifyProgram(sizes(ProgramCheck{Pre: pre, Post: post})); err != nil {
+			t.Fatalf("legal unfused region rejected: %v", err)
+		}
+		// Corrupting the base operator must fire the region rule.
+		bad := post.Nodes[1]
+		bad.Op.GatherOp = ops.GatherMax
+		post.Nodes[1] = bad
+		wantRule(t, VerifyProgram(sizes(ProgramCheck{Pre: pre, Post: post})), RuleFusionRegion)
+	})
+	t.Run("prologue region stages an absorbed operand chain", func(t *testing.T) {
+		// input -> relu -> materialise -> scatter, with the relu staged into
+		// the region's A operand read.
+		pre := &ProgramIR{
+			Values: []IRValue{
+				{Rows: VertexRows, Cols: 4},
+				{Rows: VertexRows, Cols: 4},
+				{Rows: EdgeRows, Cols: 4},
+				{Rows: VertexRows, Cols: 4},
+			},
+			Nodes: []IRNode{
+				{Name: "input", Kind: KindInput, X: NoValue, Y: NoValue, Out: 0},
+				{Name: "relu", Kind: KindUnary, X: 0, Y: NoValue, Out: 1, Chain: []Elem{{Kind: 1}}},
+				{Name: "mat", Kind: KindGraph, X: 1, Y: NoValue, Out: 2, Op: ops.CopyU},
+				{Name: "scat", Kind: KindGraph, X: NoValue, Y: 2, Out: 3, Op: ops.CopyESum},
+			},
+			Input: 0, Output: 3,
+		}
+		post := &ProgramIR{
+			Values: []IRValue{
+				{Rows: VertexRows, Cols: 4},
+				{Rows: VertexRows, Cols: 4},
+				{Rows: EdgeRows, Cols: 4},
+				{Rows: VertexRows, Cols: 4},
+			},
+			Nodes: []IRNode{
+				{Name: "input", Kind: KindInput, X: NoValue, Y: NoValue, Out: 0},
+				{Name: "aggr_region0", Kind: KindGraph, X: 0, Y: NoValue, Out: 3, Fused: true,
+					Op: ops.OpInfo{EdgeOp: ops.CopyLHS, GatherOp: ops.GatherSum,
+						AKind: tensor.SrcV, BKind: tensor.Null, CKind: tensor.DstV},
+					HasRegion: true, PreX: []Elem{{Kind: 1}}, RegionSavedBytes: 100},
+			},
+			Input: 0, Output: 3,
+		}
+		if err := VerifyProgram(sizes(ProgramCheck{Pre: pre, Post: post})); err != nil {
+			t.Fatalf("legal prologue region rejected: %v", err)
+		}
+		// The chain must land exactly on the region's operand.
+		bad := post.Nodes[1]
+		bad.PreX = nil
+		post.Nodes[1] = bad
+		wantRule(t, VerifyProgram(sizes(ProgramCheck{Pre: pre, Post: post})), RuleFusionRegion)
+	})
+}
+
 // bufferProgram is an elementwise chain input -> relu -> relu whose plan the
 // buffer tests corrupt: values 0,1,2 all vertex-rows, 4 columns.
 func bufferProgram() *ProgramIR {

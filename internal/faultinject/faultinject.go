@@ -59,6 +59,14 @@ const (
 	// CorruptAtomicFlag flips the plan's atomic-need bit in the verified
 	// facts, proving the write-conflict rule fires.
 	CorruptAtomicFlag
+	// CorruptFusionRegion corrupts a fusion region's recorded metadata in the
+	// verified IR, proving the fusion-region rules fire. Seed selects the
+	// variant: 0 inflates the region's claimed saved-traffic bytes
+	// (fusion-region-cost), 1 rewrites the absorbed post-epilogue chain so it
+	// no longer matches the recorded unary node (fusion-region), 2 appends a
+	// phantom consumer of an erased interior value to the pre-fusion view
+	// (fusion-region).
+	CorruptFusionRegion
 	// CorruptShardPlan corrupts the verified view of a shard plan, proving
 	// the shard rules fire. Seed selects the variant: 0 duplicates an edge in
 	// one shard's edge list (shard-edge-cover), 1 points a halo entry at a
@@ -73,7 +81,7 @@ const (
 var pointNames = [numPoints]string{
 	"kernel-panic", "nan-poke", "slow-chunk", "lower-fail",
 	"corrupt-operand-kind", "corrupt-fusion", "corrupt-buffer-plan", "corrupt-atomic-flag",
-	"corrupt-shard-plan",
+	"corrupt-fusion-region", "corrupt-shard-plan",
 }
 
 // String names the point.

@@ -104,6 +104,11 @@ type FixedEngine struct {
 	// Fuses reports whether the system fuses message creation into
 	// aggregation (PyG does not).
 	Fuses bool
+	// PairFusionOnly restricts a fusing engine to the classic
+	// materialise+scatter pair rewrite, disabling cost-modeled fusion
+	// regions. Real baselines that fuse (DGL) still only fuse the pair, so
+	// experiments compare pair-only against region fusion with this switch.
+	PairFusionOnly bool
 	// HostOverheadCycles is the per-graph-operator dispatch cost of the
 	// framework's host path.
 	HostOverheadCycles float64
@@ -125,6 +130,10 @@ func (e *FixedEngine) Device() *gpu.Device { return e.Dev }
 
 // Fused implements Engine.
 func (e *FixedEngine) Fused() bool { return e.Fuses }
+
+// FusionRegions implements program.RegionPolicy: region growth is on unless
+// the engine is pinned to pair-only fusion.
+func (e *FixedEngine) FusionRegions() bool { return !e.PairFusionOnly }
 
 // GraphOpOverheadCycles implements Engine.
 func (e *FixedEngine) GraphOpOverheadCycles() float64 { return e.HostOverheadCycles }

@@ -1,0 +1,120 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/tensor"
+)
+
+// regionEngine builds a fusing FixedEngine, pair-only or region-growing.
+func regionEngine(pairOnly bool) *FixedEngine {
+	return &FixedEngine{
+		EngineName:     "region-test",
+		Dev:            gpu.V100(),
+		AggrSchedule:   core.DefaultSchedule,
+		MsgCSchedule:   core.DefaultSchedule,
+		Fuses:          true,
+		PairFusionOnly: pairOnly,
+		Compute:        core.ReferenceBackend(),
+	}
+}
+
+// TestRegionFusionReducesSteps pins the tentpole acceptance criterion: on
+// GCN and GAT, region growth launches strictly fewer kernels than pair-only
+// fusion — the per-layer activation epilogues fold into the aggregation
+// kernels — while the graph-kernel count and the numeric output both stay
+// identical.
+func TestRegionFusionReducesSteps(t *testing.T) {
+	g := smallGraph(t, 31)
+	const inFeat, classes = 16, 7
+	x := tensor.NewDense(g.NumVertices(), inFeat)
+	x.FillRandom(rand.New(rand.NewSource(19)), 1)
+
+	for _, m := range []Model{NewGCN(), NewGAT()} {
+		pair, err := CompileModel(m, g, inFeat, classes, regionEngine(true))
+		if err != nil {
+			t.Fatalf("%s pair-only: %v", m.Name(), err)
+		}
+		region, err := CompileModel(m, g, inFeat, classes, regionEngine(false))
+		if err != nil {
+			t.Fatalf("%s regions: %v", m.Name(), err)
+		}
+		ps, rs := pair.Stats(), region.Stats()
+		if ps.FusedRegions != 0 {
+			t.Errorf("%s: pair-only engine grew %d regions", m.Name(), ps.FusedRegions)
+		}
+		if rs.FusedRegions == 0 {
+			t.Errorf("%s: region engine grew no regions", m.Name())
+		}
+		if rs.Steps >= ps.Steps {
+			t.Errorf("%s: regions did not reduce kernel launches: %d -> %d",
+				m.Name(), ps.Steps, rs.Steps)
+		}
+		if rs.GraphKernels != ps.GraphKernels {
+			t.Errorf("%s: graph kernels changed %d -> %d (regions must only absorb elementwise nodes)",
+				m.Name(), ps.GraphKernels, rs.GraphKernels)
+		}
+		if rs.RegionSavedBytes <= 0 {
+			t.Errorf("%s: region saved bytes = %d, want > 0", m.Name(), rs.RegionSavedBytes)
+		}
+		a, err := pair.Run(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := region.Run(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.AllClose(a, 1e-4, 1e-4) {
+			t.Errorf("%s: region output diverges from pair-only (maxdiff %v)", m.Name(), b.MaxDiff(a))
+		}
+	}
+}
+
+// TestRegionFusionAcrossModels: every model compiles and verifies with
+// regions on, across all backends, matching the pair-only output.
+func TestRegionFusionAcrossModels(t *testing.T) {
+	g := smallGraph(t, 32)
+	const inFeat, classes = 12, 5
+	x := tensor.NewDense(g.NumVertices(), inFeat)
+	x.FillRandom(rand.New(rand.NewSource(23)), 1)
+
+	backends := []core.ExecBackend{
+		core.ReferenceBackend(),
+		core.NewParallelBackend(2),
+		core.NewShardedParallelBackend(2, 4),
+	}
+	for _, m := range All() {
+		pairEng := regionEngine(true)
+		pair, err := CompileModel(m, g, inFeat, classes, pairEng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := pair.Run(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range backends {
+			eng := regionEngine(false)
+			eng.Compute = b
+			cp, err := CompileModel(m, g, inFeat, classes, eng)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Name(), b.Name(), err)
+			}
+			if rep := cp.Verify(); !rep.OK() {
+				t.Fatalf("%s/%s: region compile reports violations: %v", m.Name(), b.Name(), rep.Diags)
+			}
+			got, err := cp.Run(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.AllClose(want, 1e-4, 1e-4) {
+				t.Errorf("%s/%s: regions diverge from pair-only (maxdiff %v)",
+					m.Name(), b.Name(), got.MaxDiff(want))
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package program
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -54,6 +55,18 @@ type Stats struct {
 	GraphKernels int
 	// FusedPairs is how many materialise+scatter pairs the fusion pass merged.
 	FusedPairs int
+	// FusedRegions is how many fusion regions absorbed at least one node
+	// beyond the pair rewrite (regions.go).
+	FusedRegions int
+	// RegionSavedBytes is the cost model's claimed traffic saving across all
+	// fusion regions.
+	RegionSavedBytes int64
+	// GemmBlocked is how many GEMM steps compile onto the packed
+	// column-panel kernel (tensor.GemmPackedInto) instead of the naive loop.
+	GemmBlocked int
+	// Steps is the number of runtime steps the compiled program executes per
+	// Run (kernel launches plus dense/elementwise stages).
+	Steps int
 	// RemovedNodes is how many nodes dead-code elimination dropped.
 	RemovedNodes int
 	// BufferSlots and PeakLive describe the buffer plan (equal by
@@ -86,6 +99,41 @@ type step struct {
 	scale   float32
 	inPlace bool
 	kern    core.CompiledKernel
+	// pb is the packed weight panel of blocked GEMM steps (nil = naive loop).
+	pb *tensor.PackedB
+}
+
+// regionsEnabled reports whether s opts into cost-modeled fusion regions:
+// schedulers implementing RegionPolicy decide; everyone else gets regions
+// whenever they fuse at all.
+func regionsEnabled(s Scheduler) bool {
+	if rp, ok := s.(RegionPolicy); ok {
+		return rp.FusionRegions()
+	}
+	return true
+}
+
+// regionCopyStage builds the prologue stage of a composed region: copy the
+// live operand into the compile-time staging buffer and apply the absorbed
+// chain. Runs on the zero-allocation path — the closure captures only
+// pre-sized tensors.
+func regionCopyStage(dst, src *tensor.Dense, chain []Unary) core.RegionStage {
+	return func() {
+		copy(dst.Data, src.Data)
+		for _, u := range chain {
+			u.Apply(dst)
+		}
+	}
+}
+
+// regionInPlaceStage builds the epilogue stage of a composed region: apply
+// the absorbed chain to the region output in place.
+func regionInPlaceStage(t *tensor.Dense, chain []Unary) core.RegionStage {
+	return func() {
+		for _, u := range chain {
+			u.Apply(t)
+		}
+	}
 }
 
 // CompiledProgram is a model forward pass compiled for one graph, scheduler
@@ -119,17 +167,28 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 		}
 	}()
 	var stats Stats
+	numV, numE := g.NumVertices(), g.NumEdges()
 
-	// Pass 1: fusion (engines that fuse) + dead-code elimination.
+	// Pass 1: fusion (engines that fuse) + dead-code elimination. Fusing
+	// schedulers get cost-modeled region growth unless they implement
+	// RegionPolicy and turn it off; regions subsume pair fusion (the pair is
+	// the degenerate region), so exactly one of the two passes runs.
 	work := p
 	if s.Fused() {
-		work, stats.FusedPairs = Fuse(work)
+		if regionsEnabled(s) {
+			var rstats RegionStats
+			work, rstats = FuseRegions(work, numV, numE, DefaultCostModel())
+			stats.FusedPairs = rstats.Pairs
+			stats.FusedRegions = rstats.Regions
+			stats.RegionSavedBytes = rstats.SavedBytes
+		} else {
+			work, stats.FusedPairs = Fuse(work)
+		}
 	}
 	work, stats.RemovedNodes = EliminateDead(work)
 	stats.GraphKernels = work.GraphOpCount()
 
 	// Pass 3 runs before 2 in code: kernels lower against planned storage.
-	numV, numE := g.NumVertices(), g.NumEdges()
 	plan, err := PlanBuffers(work, numV, numE)
 	if err != nil {
 		return nil, err
@@ -188,6 +247,12 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 		switch n.Op {
 		case OpInput, OpConst:
 			continue // no runtime work; input copy happens in Run
+		case OpGEMM:
+			// GEMM weights are record-time constants (builder-enforced), so
+			// the column-panel pack amortises over every Run; the packed
+			// kernel is bit-identical to the naive loop (tensor/gemm.go).
+			st.pb = tensor.PackB(views[n.Y])
+			cp.stats.GemmBlocked++
 		case OpGraph:
 			// The task carries the nameless op so schedule lookups hit the
 			// same tuner cache entries the interpreter populates.
@@ -208,14 +273,38 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 			if err != nil {
 				return nil, fmt.Errorf("program: %s: %w", n.Name, err)
 			}
+			// Region composition: absorbed operand chains read through a
+			// compile-time staging buffer (pre stages fill it each Run), and
+			// the epilogue chain runs in place over the output — all inside
+			// one composed kernel, on every backend.
+			ax, ay := st.x, st.y
+			var pre, post []core.RegionStage
+			if r := n.Region; r != nil && r.Absorbed > 0 {
+				if len(r.PreX) > 0 {
+					staging := tensor.NewDense(ax.Rows, ax.Cols)
+					pre = append(pre, regionCopyStage(staging, st.x, r.PreX))
+					ax = staging
+				}
+				if len(r.PreY) > 0 {
+					staging := tensor.NewDense(ay.Rows, ay.Cols)
+					pre = append(pre, regionCopyStage(staging, st.y, r.PreY))
+					ay = staging
+				}
+				if len(r.Post) > 0 {
+					post = append(post, regionInPlaceStage(st.out, r.Post))
+				}
+			}
 			operands := core.Operands{
-				A: tensor.Typed{Kind: op.AKind, T: st.x},
-				B: tensor.Typed{Kind: op.BKind, T: st.y},
+				A: tensor.Typed{Kind: op.AKind, T: ax},
+				B: tensor.Typed{Kind: op.BKind, T: ay},
 				C: tensor.Typed{Kind: op.CKind, T: st.out},
 			}
 			kern, err := backend.Lower(plan2, g, operands)
 			if err != nil {
 				return nil, fmt.Errorf("program: %s: %w", n.Name, err)
+			}
+			if len(pre) > 0 || len(post) > 0 {
+				kern = core.ComposeRegion(kern, pre, post, n.Region.Name, g)
 			}
 			st.kern = kern
 			cp.scheds = append(cp.scheds, ScheduledOp{Name: n.Name, Op: op, Schedule: sched})
@@ -262,7 +351,36 @@ func Compile(p *Program, g *graph.Graph, s Scheduler, backend core.ExecBackend) 
 	if diags := verifyStepLowerings(cp); len(diags) > 0 {
 		return nil, fmt.Errorf("program: %s: %w", work.Model, &analysis.VerifyError{Diags: diags})
 	}
+	cp.stats.Steps = len(cp.steps)
+	fusedRegionsTotal.Add(int64(cp.stats.FusedRegions))
+	gemmBlockedTotal.Add(int64(cp.stats.GemmBlocked))
 	return cp, nil
+}
+
+// Process-wide compile counters, surfaced so tooling (ugrapher-bench -json)
+// can report fusion-region and blocked-GEMM activity without threading every
+// CompiledProgram through.
+var (
+	fusedRegionsTotal atomic.Int64
+	gemmBlockedTotal  atomic.Int64
+)
+
+// GlobalCounters is a snapshot of the process-wide compile counters.
+type GlobalCounters struct {
+	// FusedRegions is the total count of compiled fusion regions that
+	// absorbed nodes beyond pair fusion.
+	FusedRegions int64
+	// GemmBlocked is the total count of GEMM steps compiled onto the packed
+	// column-panel kernel.
+	GemmBlocked int64
+}
+
+// GlobalStats snapshots the process-wide compile counters.
+func GlobalStats() GlobalCounters {
+	return GlobalCounters{
+		FusedRegions: fusedRegionsTotal.Load(),
+		GemmBlocked:  gemmBlockedTotal.Load(),
+	}
 }
 
 // stepLabel names a step for its trace span, computed once at compile time
@@ -348,7 +466,11 @@ func (cp *CompiledProgram) RunCtx(ctx context.Context, x *tensor.Dense) (*tensor
 func (cp *CompiledProgram) runStep(ctx context.Context, st *step) error {
 	switch st.op {
 	case OpGEMM:
-		tensor.MatMulInto(st.out, st.x, st.y)
+		if st.pb != nil {
+			tensor.GemmPackedInto(st.out, st.x, st.pb)
+		} else {
+			tensor.MatMulInto(st.out, st.x, st.y)
+		}
 	case OpUnary:
 		if !st.inPlace {
 			copy(st.out.Data, st.x.Data)

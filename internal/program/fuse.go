@@ -38,12 +38,19 @@ func fuseScatter(n *Node) bool {
 
 // mergedName strips the decomposition suffixes so the fused operator carries
 // the stage name the interpreter would use ("GCN_L1_Aggr_materialize" +
-// "GCN_L1_Aggr_scatter" -> "GCN_L1_Aggr").
+// "GCN_L1_Aggr_scatter" -> "GCN_L1_Aggr"). Pairs outside the canonical
+// naming convention get a bounded fallback — the materialise name truncated
+// plus a "_fused" marker — so merged labels stay stable and short instead of
+// concatenating two arbitrary stage names.
 func mergedName(mat, scat string) string {
 	if base := strings.TrimSuffix(mat, "_materialize"); base != mat && base == strings.TrimSuffix(scat, "_scatter") {
 		return base
 	}
-	return mat + "+" + scat
+	const maxBase = 24
+	if len(mat) > maxBase {
+		mat = mat[:maxBase]
+	}
+	return mat + "_fused"
 }
 
 // Fuse merges every materialise+scatter pair whose intermediate edge tensor

@@ -149,6 +149,10 @@ type Node struct {
 	// materialise+scatter pair; the static verifier uses it to match each
 	// fused operator back to the recorded pair it replaced.
 	Fused bool
+	// Region annotates graph nodes that head a fusion region (regions.go):
+	// the absorbed prologue/epilogue chains and the cost model's claimed
+	// saving. Nil for nodes outside any region.
+	Region *RegionInfo
 }
 
 // Program is a recorded model forward pass: nodes in topological (recording)

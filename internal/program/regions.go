@@ -1,0 +1,246 @@
+package program
+
+import (
+	"fmt"
+)
+
+// Fusion regions generalise the pair rewrite of fuse.go: instead of only
+// merging materialise+scatter pairs, the compiler grows each graph operator
+// into a maximal legal *region* — the operator plus the single-consumer
+// elementwise chains feeding its operands (prologues, staged at launch) and
+// the single-consumer elementwise chain consuming its output (the epilogue,
+// applied in place after the reduction) — and lowers the whole region as one
+// composed kernel (core.ComposeRegion). The pair rewrite falls out as the
+// degenerate region with no absorbed chains.
+//
+// Growth is cost-modeled, not unconditional. Absorbing an epilogue always
+// wins (the interior tensor's write+read round trip disappears and a kernel
+// launch is saved), but absorbing a prologue only trades a launch for a
+// staging copy — worth it for small operands, a loss for large ones. The
+// CostModel quantifies both; the static verifier re-derives an independent
+// upper bound on every claimed saving (analysis.RuleFusionRegionCost), so a
+// cost-model bug cannot silently mis-shape compiled programs.
+
+// CostModel prices fusion-region decisions in bytes of saved memory traffic.
+type CostModel struct {
+	// LaunchOverheadBytes is the traffic-equivalent cost of one kernel
+	// launch: absorbing a node always saves one launch, worth this many
+	// bytes of avoided traffic.
+	LaunchOverheadBytes int64
+	// StagingPenalty scales the staging-copy cost of prologue absorption:
+	// staging re-reads and re-writes the operand, so absorbing a prologue
+	// over a value of b bytes costs StagingPenalty*b against the saved
+	// launch.
+	StagingPenalty float64
+}
+
+// DefaultCostModel is the model Compile uses: a launch is worth 16 KiB of
+// traffic (a host parallel-dispatch round trip), and a staging copy costs
+// half the staged bytes (one write plus a cache-warm re-read).
+func DefaultCostModel() CostModel {
+	return CostModel{LaunchOverheadBytes: 1 << 14, StagingPenalty: 0.5}
+}
+
+// RegionInfo annotates a graph node that heads a fusion region. The static
+// verifier decomposes the region back into the recorded program using
+// exactly these fields (analysis.RuleFusionRegion), so they are part of the
+// verified compile contract, not just bookkeeping.
+type RegionInfo struct {
+	// Name is the bounded region label ("<base>_region<N>") used for the
+	// composed kernel's telemetry site.
+	Name string
+	// PreX and PreY are elementwise chains absorbed into the operand reads:
+	// the region stages chain(operand) into a compile-time buffer before the
+	// graph kernel runs. Ordered producer-first (the verifier peels from the
+	// tail).
+	PreX, PreY []Unary
+	// Post is the epilogue chain applied in place to the region output after
+	// the graph kernel runs.
+	Post []Unary
+	// Absorbed counts the recorded nodes folded into the region beyond the
+	// materialise+scatter pair itself.
+	Absorbed int
+	// SavedBytes is the cost model's claimed traffic saving for the whole
+	// region (pair intermediate plus absorbed chains).
+	SavedBytes int64
+}
+
+// RegionStats summarises what FuseRegions did.
+type RegionStats struct {
+	// Pairs is how many materialise+scatter pairs merged (same as Fuse).
+	Pairs int
+	// Regions is how many regions absorbed at least one node beyond the
+	// pair rewrite.
+	Regions int
+	// Absorbed is the total count of absorbed prologue/epilogue nodes.
+	Absorbed int
+	// SavedBytes is the cost model's total claimed traffic saving.
+	SavedBytes int64
+}
+
+// RegionPolicy is an optional Scheduler extension: schedulers that implement
+// it control whether Compile grows fusion regions beyond pair fusion.
+// Schedulers without it get regions whenever they fuse at all.
+type RegionPolicy interface {
+	// FusionRegions reports whether cost-modeled region growth is enabled.
+	FusionRegions() bool
+}
+
+// regionName builds the bounded region label: the head node's name truncated
+// to keep telemetry labels short, plus a stable per-program sequence number.
+func regionName(base string, seq int) string {
+	const maxBase = 24
+	if len(base) > maxBase {
+		base = base[:maxBase]
+	}
+	return fmt.Sprintf("%s_region%d", base, seq)
+}
+
+// FuseRegions runs pair fusion and then grows cost-accepted fusion regions
+// around every graph operator: single-consumer elementwise epilogues are
+// absorbed into the output, and single-consumer elementwise prologues into
+// the operand reads when the cost model accepts the trade. Every fused pair
+// is annotated with a RegionInfo (the degenerate region) so the verifier's
+// region rules cover the whole fusion surface. Returns the rewritten
+// program (value table shared, like Fuse) and the region statistics.
+func FuseRegions(p *Program, numV, numE int, cm CostModel) (*Program, RegionStats) {
+	var stats RegionStats
+	work, pairs := Fuse(p)
+	stats.Pairs = pairs
+
+	bytesOf := func(v ValueID) int64 {
+		val := work.Values[v]
+		rows := int64(numV)
+		if val.Rows == EdgeRows {
+			rows = int64(numE)
+		}
+		return 4 * rows * int64(val.Cols)
+	}
+
+	nodes := append([]Node(nil), work.Nodes...)
+	removed := make([]bool, len(nodes))
+	defIdx := make(map[ValueID]int, len(nodes))
+	uses := make([]int, len(work.Values))
+	for i := range nodes {
+		defIdx[nodes[i].Out] = i
+		if x := nodes[i].X; x != NoValue {
+			uses[x]++
+		}
+		if y := nodes[i].Y; y != NoValue {
+			uses[y]++
+		}
+	}
+	// consumerOf finds the unique node reading v (valid only when uses[v]==1).
+	consumerOf := func(v ValueID) int {
+		for j := range nodes {
+			if !removed[j] && readsValue(&nodes[j], v) {
+				return j
+			}
+		}
+		return -1
+	}
+
+	regionSeq := 0
+	for i := range nodes {
+		n := &nodes[i]
+		if removed[i] || n.Op != OpGraph {
+			continue
+		}
+		ensure := func() *RegionInfo {
+			if n.Region == nil {
+				n.Region = &RegionInfo{Name: regionName(n.Name, regionSeq)}
+				regionSeq++
+			}
+			return n.Region
+		}
+		if n.Fused {
+			// The degenerate region: the pair rewrite already erased the
+			// |E| x F intermediate, whose width equals the fused output's.
+			ensure().SavedBytes += 2 * 4 * int64(numE) * int64(work.Values[n.Out].Cols)
+		}
+
+		// Epilogue absorption: while the region output has exactly one
+		// consumer and it is an elementwise chain, fold the chain in. The
+		// erased interior's round trip plus a launch always beats the
+		// in-place epilogue's cost, so no gate is needed.
+		for {
+			out := n.Out
+			if out == work.Output || uses[out] != 1 {
+				break
+			}
+			ci := consumerOf(out)
+			if ci < 0 {
+				break
+			}
+			u := &nodes[ci]
+			if u.Op != OpUnary || u.X != out {
+				break
+			}
+			info := ensure()
+			info.Post = append(info.Post, u.Chain...)
+			info.Absorbed++
+			info.SavedBytes += bytesOf(out) + cm.LaunchOverheadBytes
+			removed[ci] = true
+			uses[out]--
+			delete(defIdx, out)
+			n.Out = u.Out
+			defIdx[n.Out] = i
+		}
+
+		// Prologue absorption: fold single-consumer elementwise chains
+		// feeding an operand into a staged read, when the saved launch
+		// outweighs the staging copy. Chains are prepended so the slice
+		// stays producer-first.
+		absorbOperand := func(opnd *ValueID, dst func(*RegionInfo) *[]Unary) {
+			for {
+				v := *opnd
+				if v == NoValue || v == work.Output || uses[v] != 1 {
+					return
+				}
+				di, ok := defIdx[v]
+				if !ok || removed[di] {
+					return
+				}
+				d := &nodes[di]
+				if d.Op != OpUnary {
+					return
+				}
+				gain := cm.LaunchOverheadBytes - int64(cm.StagingPenalty*float64(bytesOf(v)))
+				if gain <= 0 {
+					return
+				}
+				info := ensure()
+				chain := dst(info)
+				*chain = append(append([]Unary(nil), d.Chain...), *chain...)
+				info.Absorbed++
+				info.SavedBytes += gain
+				removed[di] = true
+				uses[v]--
+				delete(defIdx, v)
+				*opnd = d.X
+			}
+		}
+		absorbOperand(&n.X, func(r *RegionInfo) *[]Unary { return &r.PreX })
+		absorbOperand(&n.Y, func(r *RegionInfo) *[]Unary { return &r.PreY })
+	}
+
+	out := &Program{
+		Model: work.Model, InCols: work.InCols, Classes: work.Classes,
+		Values: work.Values, Input: work.Input, Output: work.Output,
+	}
+	out.Nodes = make([]Node, 0, len(nodes))
+	for i := range nodes {
+		if removed[i] {
+			continue
+		}
+		if r := nodes[i].Region; r != nil {
+			stats.Absorbed += r.Absorbed
+			stats.SavedBytes += r.SavedBytes
+			if r.Absorbed > 0 {
+				stats.Regions++
+			}
+		}
+		out.Nodes = append(out.Nodes, nodes[i])
+	}
+	return out, stats
+}

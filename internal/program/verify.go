@@ -6,6 +6,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/ops"
 	"repro/internal/tensor"
 )
 
@@ -52,13 +53,35 @@ func irOf(p *Program) *analysis.ProgramIR {
 	}
 	for i := range p.Nodes {
 		n := &p.Nodes[i]
-		ir.Nodes[i] = analysis.IRNode{
+		in := analysis.IRNode{
 			Name: n.Name, Kind: kindOf(n.Op),
 			X: int(n.X), Y: int(n.Y), Out: int(n.Out),
 			Op: n.GOp, Fused: n.Fused,
+			Chain: elemsOf(n.Chain),
 		}
+		if r := n.Region; r != nil {
+			in.HasRegion = true
+			in.PreX = elemsOf(r.PreX)
+			in.PreY = elemsOf(r.PreY)
+			in.Post = elemsOf(r.Post)
+			in.RegionSavedBytes = r.SavedBytes
+		}
+		ir.Nodes[i] = in
 	}
 	return ir
+}
+
+// elemsOf converts a unary chain into the verifier's primitive mirror. The
+// slice is fresh, so corruption passes may mutate it freely.
+func elemsOf(chain []Unary) []analysis.Elem {
+	if len(chain) == 0 {
+		return nil
+	}
+	es := make([]analysis.Elem, len(chain))
+	for i, u := range chain {
+		es[i] = analysis.Elem{Kind: uint8(u.Kind), Alpha: u.Alpha}
+	}
+	return es
 }
 
 // factsOf converts a buffer plan into the verifier's exchange form, copying
@@ -77,10 +100,12 @@ func factsOf(plan *BufferPlan, numV, numE int) *analysis.BufferFacts {
 // compilation: pre is the recorded program, post the fused+pruned one.
 func verifyCompilation(pre, post *Program, plan *BufferPlan, numV, numE int) error {
 	c := analysis.ProgramCheck{
-		Subject: post.Model,
-		Pre:     irOf(pre),
-		Post:    irOf(post),
-		Plan:    factsOf(plan, numV, numE),
+		Subject:     post.Model,
+		Pre:         irOf(pre),
+		Post:        irOf(post),
+		Plan:        factsOf(plan, numV, numE),
+		NumVertices: numV,
+		NumEdges:    numE,
 	}
 	corruptCheck(&c)
 	return analysis.VerifyProgram(c)
@@ -144,6 +169,9 @@ func corruptCheck(c *analysis.ProgramCheck) {
 	if faultinject.Fire(faultinject.CorruptFusion) {
 		corruptFusion(c, faultinject.SpecOf(faultinject.CorruptFusion).Seed)
 	}
+	if faultinject.Fire(faultinject.CorruptFusionRegion) {
+		corruptRegion(c, faultinject.SpecOf(faultinject.CorruptFusionRegion).Seed)
+	}
 	if faultinject.Fire(faultinject.CorruptBufferPlan) {
 		corruptBuffers(c, faultinject.SpecOf(faultinject.CorruptBufferPlan).Seed)
 	}
@@ -184,26 +212,26 @@ func corruptOperand(c *analysis.ProgramCheck, seed uint64) {
 	}
 }
 
-// corruptFusion corrupts the fusion bookkeeping. Seed 0 toggles a Fused
-// marker; seed 1 declares a fused intermediate to be the program output;
-// seed 2 drops a live node from the compiled view.
+// corruptFusion corrupts the fusion bookkeeping. Seed 0 mis-merges a fused
+// operator (or toggles a Fused marker when no pair fused); seed 1 declares a
+// fused intermediate to be the program output; seed 2 drops a live node from
+// the compiled view.
 func corruptFusion(c *analysis.ProgramCheck, seed uint64) {
 	switch seed {
 	case 1:
 		if c.Pre == nil {
 			return
 		}
-		for i := range c.Post.Nodes {
-			if !c.Post.Nodes[i].Fused {
-				continue
-			}
-			// The pre node defining the fused output is the scatter; its Y
-			// operand is the erased intermediate.
-			for j := range c.Pre.Nodes {
-				if c.Pre.Nodes[j].Out == c.Post.Nodes[i].Out {
-					c.Pre.Output = c.Pre.Nodes[j].Y
-					return
-				}
+		// Find the recorded scatter: its Y operand is the intermediate the
+		// fusion pass erased. (Looked up in the pre view directly, since a
+		// fused node's output may have moved past an absorbed epilogue.)
+		for j := range c.Pre.Nodes {
+			d := &c.Pre.Nodes[j]
+			if d.Kind == analysis.KindGraph && d.Op.EdgeOp == ops.CopyRHS &&
+				d.Op.GatherOp.IsReduction() && d.Op.BKind == tensor.EdgeK &&
+				d.Op.CKind == tensor.DstV {
+				c.Pre.Output = d.Y
+				return
 			}
 		}
 	case 2:
@@ -216,11 +244,19 @@ func corruptFusion(c *analysis.ProgramCheck, seed uint64) {
 			c.Plan.InPlace = append(c.Plan.InPlace[:i:i], c.Plan.InPlace[i+1:]...)
 		}
 	default:
+		// Mis-merge the fused operator's reduction: the op-composition check
+		// fires fusion-pair whether the node is a bare pair or a region head.
 		for i := range c.Post.Nodes {
-			if c.Post.Nodes[i].Fused {
-				c.Post.Nodes[i].Fused = false
-				return
+			n := &c.Post.Nodes[i]
+			if !n.Fused {
+				continue
 			}
+			if n.Op.GatherOp == ops.GatherSum {
+				n.Op.GatherOp = ops.GatherMax
+			} else {
+				n.Op.GatherOp = ops.GatherSum
+			}
+			return
 		}
 		for i := range c.Post.Nodes {
 			n := &c.Post.Nodes[i]
@@ -229,6 +265,52 @@ func corruptFusion(c *analysis.ProgramCheck, seed uint64) {
 				return
 			}
 		}
+	}
+}
+
+// corruptRegion corrupts a fusion region's verified metadata. Seed 0
+// inflates the claimed saved bytes past any recomputable bound; seed 1
+// rewrites the absorbed epilogue chain so it no longer matches the recorded
+// unary node; seed 2 appends a phantom consumer of the region's erased
+// interior value to the pre-fusion view.
+func corruptRegion(c *analysis.ProgramCheck, seed uint64) {
+	ri := -1
+	for i := range c.Post.Nodes {
+		n := &c.Post.Nodes[i]
+		if n.HasRegion && len(n.Post) > 0 {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 {
+		return
+	}
+	n := &c.Post.Nodes[ri]
+	switch seed {
+	case 1:
+		n.Post[0].Kind = 255
+	case 2:
+		if c.Pre == nil {
+			return
+		}
+		// The pre node defining the region output is the absorbed epilogue
+		// unary; its X operand is the erased interior value. A phantom
+		// second consumer of that value makes the absorption illegal.
+		for j := range c.Pre.Nodes {
+			d := &c.Pre.Nodes[j]
+			if d.Out != n.Out || d.Kind != analysis.KindUnary {
+				continue
+			}
+			c.Pre.Values = append(c.Pre.Values, c.Pre.Values[d.X])
+			c.Pre.Nodes = append(c.Pre.Nodes, analysis.IRNode{
+				Name: "phantom", Kind: analysis.KindUnary,
+				X: d.X, Y: analysis.NoValue, Out: len(c.Pre.Values) - 1,
+				Chain: append([]analysis.Elem(nil), d.Chain...),
+			})
+			return
+		}
+	default:
+		n.RegionSavedBytes = 1 << 50
 	}
 }
 

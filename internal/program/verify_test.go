@@ -46,6 +46,9 @@ func TestCorruptionFiresEachRule(t *testing.T) {
 		{faultinject.CorruptFusion, 0, analysis.RuleFusionPair},
 		{faultinject.CorruptFusion, 1, analysis.RuleFusionSingleConsumer},
 		{faultinject.CorruptFusion, 2, analysis.RuleDCESoundness},
+		{faultinject.CorruptFusionRegion, 0, analysis.RuleFusionRegionCost},
+		{faultinject.CorruptFusionRegion, 1, analysis.RuleFusionRegion},
+		{faultinject.CorruptFusionRegion, 2, analysis.RuleFusionRegion},
 		{faultinject.CorruptBufferPlan, 0, analysis.RuleBufferAlias},
 		{faultinject.CorruptBufferPlan, 1, analysis.RuleBufferCapacity},
 		{faultinject.CorruptBufferPlan, 2, analysis.RuleInPlace},

@@ -1,0 +1,124 @@
+package tensor
+
+import "fmt"
+
+// Cache-blocked GEMM with a packed column-panel layout, the dense half of
+// the fusion-region work (ROADMAP "Raw speed"). The naive MatMulInto walk
+// streams B row by row and keeps the whole N-wide output row as the
+// accumulation target; for the wide weight matrices GEMM-dominated models
+// use (Sage's hidden width 256, DESIGN.md §2) that output row no longer
+// fits in registers, so every partial sum round-trips through memory.
+//
+// The blocked path repacks B once — weights are compile-time constants, so
+// the pack cost is amortised over every subsequent Run — into column panels
+// of gemmPanelN columns laid out k-major: panel p holds
+//
+//	b[0][p*8 .. p*8+7], b[1][p*8 .. p*8+7], ..., b[K-1][...]
+//
+// contiguously. GemmPackedInto then computes one output row × one panel at
+// a time with eight explicit register accumulators and a fully unrolled
+// inner body: B is read as a single forward stream (hardware-prefetch
+// friendly), and each output element is written exactly once.
+//
+// Accumulation order is deliberately identical to MatMulInto — ascending k
+// with the same zero-skip on a[i][k] — so the two paths produce
+// bit-identical results and the compiled program can switch between them
+// without perturbing the golden compiled≡interpreted comparisons.
+//
+// Shape-mismatch panics below are invariant panics (see dense_ops.go's file
+// header): shapes come from model code and the compile-time packer, never
+// from user input.
+
+// gemmPanelN is the packed panel width: eight float32 columns, matching one
+// 32-byte half-line per k step and the eight accumulator registers of the
+// unrolled kernel.
+const gemmPanelN = 8
+
+// PackedB is a weight matrix repacked into k-major column panels for
+// GemmPackedInto. The final panel is zero-padded when N is not a multiple
+// of the panel width; padded lanes are computed and discarded.
+type PackedB struct {
+	// K and N are the logical (unpacked) dimensions of B.
+	K, N int
+	// panels holds ceil(N/gemmPanelN) panels of K*gemmPanelN floats each.
+	panels []float32
+}
+
+// PackB repacks b (K×N, row-major) into column panels. Packing allocates;
+// it is a compile-time operation, never called on a Run path.
+func PackB(b *Dense) *PackedB {
+	k, n := b.Rows, b.Cols
+	numPanels := (n + gemmPanelN - 1) / gemmPanelN
+	pb := &PackedB{K: k, N: n, panels: make([]float32, numPanels*k*gemmPanelN)}
+	for p := 0; p < numPanels; p++ {
+		base := p * k * gemmPanelN
+		j0 := p * gemmPanelN
+		width := n - j0
+		if width > gemmPanelN {
+			width = gemmPanelN
+		}
+		for kk := 0; kk < k; kk++ {
+			brow := b.Data[kk*n+j0 : kk*n+j0+width]
+			dst := pb.panels[base+kk*gemmPanelN : base+kk*gemmPanelN+width]
+			copy(dst, brow)
+		}
+	}
+	return pb
+}
+
+// GemmPackedInto computes out = a @ B for the packed B, without allocating.
+// out must not alias a. Results are bit-identical to
+// MatMulInto(out, a, unpackedB): per output element the partial products
+// accumulate in the same ascending-k order with the same zero-skip.
+func GemmPackedInto(out, a *Dense, pb *PackedB) {
+	if a.Cols != pb.K {
+		// invariant: shapes come from model code and the compile-time packer,
+		// never from user input; a mismatch is a compiler bug.
+		panic(fmt.Sprintf("tensor: packed matmul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, pb.K, pb.N))
+	}
+	if out.Rows != a.Rows || out.Cols != pb.N {
+		// invariant: the buffer planner sizes out from the value table; a
+		// mismatch here means verification failed open.
+		panic(fmt.Sprintf("tensor: packed matmul output %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, pb.N))
+	}
+	k, n := pb.K, pb.N
+	numPanels := (n + gemmPanelN - 1) / gemmPanelN
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for p := 0; p < numPanels; p++ {
+			panel := pb.panels[p*k*gemmPanelN : (p+1)*k*gemmPanelN]
+			var acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7 float32
+			for kk, av := range arow {
+				if av == 0 {
+					continue
+				}
+				row := panel[kk*gemmPanelN : kk*gemmPanelN+gemmPanelN : kk*gemmPanelN+gemmPanelN]
+				acc0 += av * row[0]
+				acc1 += av * row[1]
+				acc2 += av * row[2]
+				acc3 += av * row[3]
+				acc4 += av * row[4]
+				acc5 += av * row[5]
+				acc6 += av * row[6]
+				acc7 += av * row[7]
+			}
+			j0 := p * gemmPanelN
+			width := n - j0
+			if width >= gemmPanelN {
+				dst := orow[j0 : j0+gemmPanelN : j0+gemmPanelN]
+				dst[0], dst[1], dst[2], dst[3] = acc0, acc1, acc2, acc3
+				dst[4], dst[5], dst[6], dst[7] = acc4, acc5, acc6, acc7
+				continue
+			}
+			// Tail panel: store only the real columns; padded lanes held zeros,
+			// so their accumulators are discarded.
+			accs := [gemmPanelN]float32{acc0, acc1, acc2, acc3, acc4, acc5, acc6, acc7}
+			copy(orow[j0:j0+width], accs[:width])
+		}
+	}
+}
+
+// PackedFloats reports the packed storage size in float32 elements (for
+// compile stats and tests).
+func (pb *PackedB) PackedFloats() int { return len(pb.panels) }
