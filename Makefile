@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-models bench-obs bench-shard bench-fusion race vet faults obs lint verify
+.PHONY: build test check bench bench-models bench-obs bench-shard bench-fusion race vet faults obs lint verify serve e2e
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,19 @@ verify:
 # layer's fault-injection points, and the graph loaders) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/... ./internal/faultinject/... ./internal/graph/... ./internal/telemetry/... ./internal/shard/... ./internal/reorder/... ./internal/tensor/... ./internal/analysis/...
+	$(GO) test -race ./internal/core/... ./internal/models/... ./internal/program/... ./internal/faultinject/... ./internal/graph/... ./internal/telemetry/... ./internal/shard/... ./internal/reorder/... ./internal/tensor/... ./internal/analysis/... ./internal/serve/...
+
+# serve runs the HTTP inference daemon (GCN on CO at :8080 by default;
+# see cmd/ugrapher-serve for flags and README "Serving quick-start").
+serve:
+	$(GO) run ./cmd/ugrapher-serve
+
+# e2e runs the black-box serving suite: it builds the real ugrapher-serve
+# binary with -race, runs it as a child process, and proves fast 429
+# backpressure, breaker-gated degradation with reference-correct outputs,
+# and SIGTERM drain ordering from the outside.
+e2e:
+	$(GO) test -run 'TestE2E' -count=1 -v ./internal/serve/
 
 # faults runs the fault-injection suite under the race detector: injected
 # kernel panics, NaN pokes, slow chunks and lowering failures, each proven

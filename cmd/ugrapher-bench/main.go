@@ -65,6 +65,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
 		os.Exit(2)
 	}
+	if err := core.ValidateEnvWorkers(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)
+		os.Exit(2)
+	}
 	if *shards >= 0 {
 		if err := core.SetDefaultShards(*shards); err != nil {
 			fmt.Fprintf(os.Stderr, "ugrapher-bench: %v\n", err)

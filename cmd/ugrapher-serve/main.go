@@ -1,0 +1,140 @@
+// Command ugrapher-serve is the inference daemon: it loads named models,
+// compiles each once per (model × graph × backend × shards), and serves
+// JSON inference over HTTP with admission control, request batching,
+// per-model circuit breaking and graceful drain (DESIGN.md §13).
+//
+// Examples:
+//
+//	ugrapher-serve                                  # GCN on CO at :8080
+//	ugrapher-serve -models GCN,GAT -dataset CO -addr 127.0.0.1:9090
+//	curl -s localhost:8080/v1/infer -d '{"model":"GCN","vertices":[0,1,2]}'
+//	curl -s localhost:8080/metrics
+//
+// Endpoints: POST /v1/infer, GET /v1/models, /healthz, /readyz, /metrics.
+// SIGTERM (or SIGINT) starts a graceful drain: /readyz flips unready, new
+// requests get 503, in-flight batches finish under -drain-timeout, then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	modelsFlag := flag.String("models", "GCN", "comma-separated model names to serve (GCN, GIN, GAT, SSum, SMax, SMean)")
+	dataset := flag.String("dataset", "CO", "dataset code from Table 3 the models serve")
+	feat := flag.Int("feat", 16, "input feature width")
+	classes := flag.Int("classes", 8, "output classes")
+	backend := flag.String("backend", "", "host compute backend: reference, parallel or sim (empty = parallel / $UGRAPHER_BACKEND)")
+	shards := flag.Int("shards", -1, "graph shards for the parallel backend: 0 = auto-size, 1 = unsharded, N = fixed count (-1 = $UGRAPHER_SHARDS / 1)")
+	queue := flag.Int("queue", 64, "per-model admission queue depth; full queue rejects with 429")
+	batch := flag.Int("batch", 8, "max requests coalesced into one forward pass")
+	reqTimeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline when the request carries no timeout_ms")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "upper bound on any request's deadline")
+	breakerN := flag.Int("breaker-threshold", 3, "consecutive kernel failures that trip a model's circuit breaker")
+	breakerCool := flag.Duration("breaker-cooldown", 2*time.Second, "open breaker cooldown before a half-open probe")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget after SIGTERM")
+	faults := flag.String("faults", "", "arm fault-injection points, e.g. 'queue-stall:after=1,limit=1,delay=2s;kernel-panic-load:every=1' (testing)")
+	flag.Parse()
+
+	// Exit codes: 1 = startup/serve error, 2 = usage (bad flags or
+	// environment). A drained SIGTERM exit is 0.
+	if err := core.ValidateEnvBackend(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-serve: %v\n", err)
+		os.Exit(2)
+	}
+	if err := core.ValidateEnvShards(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-serve: %v\n", err)
+		os.Exit(2)
+	}
+	if err := core.ValidateEnvWorkers(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-serve: %v\n", err)
+		os.Exit(2)
+	}
+	if *faults != "" {
+		if err := faultinject.ParseAndArm(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "ugrapher-serve: -faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	// A daemon always collects: breaker transitions, batch spans and the
+	// serving counters are the operator's only window into it.
+	telemetry.SetEnabled(true)
+
+	cfg := serve.Config{
+		Dataset:          *dataset,
+		Models:           strings.Split(*modelsFlag, ","),
+		Feat:             *feat,
+		Classes:          *classes,
+		Backend:          *backend,
+		Shards:           *shards,
+		QueueDepth:       *queue,
+		MaxBatch:         *batch,
+		DefaultTimeout:   *reqTimeout,
+		MaxTimeout:       *maxTimeout,
+		BreakerThreshold: *breakerN,
+		BreakerCooldown:  *breakerCool,
+		DrainTimeout:     *drainTimeout,
+	}
+	if err := run(cfg, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg serve.Config, addr string) error {
+	compileStart := time.Now()
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("models compiled in %v\n", time.Since(compileStart).Round(time.Millisecond))
+	// The "listening on" line is the readiness handshake scripts and the
+	// e2e suite key on (port 0 resolves here).
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("received %v; draining (budget %v)\n", sig, cfg.DrainTimeout)
+	}
+	// Drain first — the listener stays open so /healthz and /readyz keep
+	// answering while in-flight batches finish — then close the listener.
+	drainErr := s.Drain(cfg.DrainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Println("drained; exiting")
+	return nil
+}

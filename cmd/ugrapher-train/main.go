@@ -52,6 +52,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugrapher-train: %v\n", err)
 		os.Exit(2)
 	}
+	if err := core.ValidateEnvWorkers(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher-train: %v\n", err)
+		os.Exit(2)
+	}
 	if *shards >= 0 {
 		if err := core.SetDefaultShards(*shards); err != nil {
 			fmt.Fprintf(os.Stderr, "ugrapher-train: %v\n", err)

@@ -80,6 +80,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
 		os.Exit(2)
 	}
+	if err := core.ValidateEnvWorkers(); err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)
+		os.Exit(2)
+	}
 	if *backend != "" {
 		if err := core.SetDefaultBackend(*backend); err != nil {
 			fmt.Fprintf(os.Stderr, "ugrapher: %v\n", err)

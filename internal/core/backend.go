@@ -221,6 +221,55 @@ func DefaultShards() int {
 	return 1
 }
 
+// Worker-count plumbing. The worker pool size has always been settable via
+// UGRAPHER_WORKERS; like UGRAPHER_BACKEND and UGRAPHER_SHARDS it is now
+// validated at CLI startup (exit 2 with the valid range) instead of being
+// silently ignored when malformed mid-run.
+
+// MaxWorkers bounds the worker-pool size a single process may configure.
+// Far above any host this runs on; it exists so a typo ("10000000") fails
+// fast instead of spawning a pathological goroutine count.
+const MaxWorkers = 4096
+
+// parseWorkers validates a worker-count string against [1, MaxWorkers].
+func parseWorkers(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 || n > MaxWorkers {
+		return 0, fmt.Errorf("core: invalid worker count %q (valid: 1 through %d)", s, MaxWorkers)
+	}
+	return n, nil
+}
+
+// ValidateEnvWorkers checks the UGRAPHER_WORKERS environment variable so
+// CLIs can exit with the valid range at startup instead of silently falling
+// back to runtime.NumCPU() mid-run.
+func ValidateEnvWorkers() error {
+	s := os.Getenv("UGRAPHER_WORKERS")
+	if s == "" {
+		return nil
+	}
+	if _, err := parseWorkers(s); err != nil {
+		return fmt.Errorf("UGRAPHER_WORKERS: %w", err)
+	}
+	return nil
+}
+
+// envWorkers resolves UGRAPHER_WORKERS: 0 when unset, the parsed count when
+// valid, and 0 with a stderr warning when malformed (mirrors DefaultShards;
+// CLIs that called ValidateEnvWorkers never reach the warning).
+func envWorkers() int {
+	s := os.Getenv("UGRAPHER_WORKERS")
+	if s == "" {
+		return 0
+	}
+	n, err := parseWorkers(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ugrapher: UGRAPHER_WORKERS: %v (using NumCPU)\n", err)
+		return 0
+	}
+	return n
+}
+
 // ExecuteOn is the convenience path compile-once callers use: lower p onto
 // backend b for (g, o) and run the kernel once.
 func (p *Plan) ExecuteOn(b ExecBackend, g *graph.Graph, o Operands) error {

@@ -2,9 +2,7 @@ package core
 
 import (
 	"context"
-	"os"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -53,14 +51,13 @@ func NewParallelBackend(workers int) *ParallelBackend {
 // [0, shard.MaxShards] clamp to the unsharded default.
 func NewShardedParallelBackend(workers, shards int) *ParallelBackend {
 	if workers <= 0 {
-		if s := os.Getenv("UGRAPHER_WORKERS"); s != "" {
-			if n, err := strconv.Atoi(s); err == nil && n > 0 {
-				workers = n
-			}
-		}
+		workers = envWorkers()
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	if workers > MaxWorkers {
+		workers = MaxWorkers
 	}
 	if shards < 0 || shards > shard.MaxShards {
 		shards = 1
@@ -257,6 +254,7 @@ func (k *parallelKernel) runChunks(ctx context.Context, items, workers int, body
 		if done == nil {
 			faultinject.MaybeSleep(faultinject.SlowChunk)
 			faultinject.MaybePanic(faultinject.KernelPanic)
+			faultinject.MaybePanic(faultinject.KernelPanicLoad)
 			body(0, int32(items))
 			k.shards++
 			return nil
@@ -276,6 +274,7 @@ func (k *parallelKernel) runChunks(ctx context.Context, items, workers int, body
 			}
 			faultinject.MaybeSleep(faultinject.SlowChunk)
 			faultinject.MaybePanic(faultinject.KernelPanic)
+			faultinject.MaybePanic(faultinject.KernelPanicLoad)
 			body(int32(lo), int32(hi))
 			k.shards++
 		}
@@ -317,6 +316,7 @@ func (k *parallelKernel) runChunks(ctx context.Context, items, workers int, body
 				}
 				faultinject.MaybeSleep(faultinject.SlowChunk)
 				faultinject.MaybePanic(faultinject.KernelPanic)
+			faultinject.MaybePanic(faultinject.KernelPanicLoad)
 				body(int32(lo), int32(hi))
 				shards.Add(1)
 			}
@@ -418,6 +418,7 @@ func (k *parallelKernel) runEdgeParallel(ctx context.Context, workers int) error
 			}
 			faultinject.MaybeSleep(faultinject.SlowChunk)
 			faultinject.MaybePanic(faultinject.KernelPanic)
+			faultinject.MaybePanic(faultinject.KernelPanicLoad)
 			hi := lo + edgeBlock
 			if hi > numE {
 				hi = numE
@@ -476,6 +477,7 @@ func (k *parallelKernel) runEdgeParallel(ctx context.Context, workers int) error
 				}
 				faultinject.MaybeSleep(faultinject.SlowChunk)
 				faultinject.MaybePanic(faultinject.KernelPanic)
+			faultinject.MaybePanic(faultinject.KernelPanicLoad)
 				bhi := blo + edgeBlock
 				if bhi > hi {
 					bhi = hi

@@ -247,6 +247,7 @@ func (k *shardedKernel) runShards(ctx context.Context, workers int) error {
 			}
 			faultinject.MaybeSleep(faultinject.SlowChunk)
 			faultinject.MaybePanic(faultinject.KernelPanic)
+			faultinject.MaybePanic(faultinject.KernelPanicLoad)
 			k.execShard(int32(s))
 			k.shardsRun++
 		}
@@ -283,6 +284,7 @@ func (k *shardedKernel) runShards(ctx context.Context, workers int) error {
 				}
 				faultinject.MaybeSleep(faultinject.SlowChunk)
 				faultinject.MaybePanic(faultinject.KernelPanic)
+			faultinject.MaybePanic(faultinject.KernelPanicLoad)
 				k.execShard(int32(s))
 				shards.Add(1)
 			}

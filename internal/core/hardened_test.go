@@ -350,6 +350,51 @@ func TestResilientPassesThroughNonKernelErrors(t *testing.T) {
 	}
 }
 
+// TestResilientWindowCounter: Snapshot/Reset expose a per-window fallback
+// count on top of the monotonic Fallbacks counter.
+func TestResilientWindowCounter(t *testing.T) {
+	defer faultinject.Reset()
+	g := testGraph(t, 200, 3000, 23)
+	rb := NewResilientBackend(NewParallelBackend(4), nil)
+	rb.SetLogger(nil)
+	o := makeOperands(g, ops.AggrSum, 8, false, 4)
+	p := MustCompile(ops.AggrSum, Schedule{Strategy: ThreadEdge, Group: 1, Tile: 1})
+	k, err := rb.Lower(p, g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rb.Snapshot(); got != 0 {
+		t.Fatalf("Snapshot() before any fallback = %d", got)
+	}
+	faultinject.Arm(faultinject.KernelPanic, faultinject.Spec{After: 1})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rb.Snapshot(); got != 1 {
+		t.Errorf("Snapshot() = %d, want 1", got)
+	}
+	if got := rb.Reset(); got != 1 {
+		t.Errorf("Reset() = %d, want 1", got)
+	}
+	if got := rb.Snapshot(); got != 0 {
+		t.Errorf("Snapshot() after Reset = %d, want 0", got)
+	}
+	if got := rb.Fallbacks(); got != 1 {
+		t.Errorf("Fallbacks() after Reset = %d, want 1 (monotonic)", got)
+	}
+	// A second window accumulates independently.
+	faultinject.Arm(faultinject.KernelPanic, faultinject.Spec{After: 1})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rb.Snapshot(), int64(1); got != want {
+		t.Errorf("second window Snapshot() = %d, want %d", got, want)
+	}
+	if got := rb.Fallbacks(); got != 2 {
+		t.Errorf("Fallbacks() = %d, want 2", got)
+	}
+}
+
 func TestValidateEnvBackend(t *testing.T) {
 	t.Setenv("UGRAPHER_BACKEND", "")
 	if err := ValidateEnvBackend(); err != nil {
@@ -368,6 +413,39 @@ func TestValidateEnvBackend(t *testing.T) {
 		if !strings.Contains(err.Error(), name) {
 			t.Errorf("error %q does not list valid backend %q", err, name)
 		}
+	}
+}
+
+func TestValidateEnvWorkers(t *testing.T) {
+	t.Setenv("UGRAPHER_WORKERS", "")
+	if err := ValidateEnvWorkers(); err != nil {
+		t.Errorf("empty env: %v", err)
+	}
+	t.Setenv("UGRAPHER_WORKERS", "8")
+	if err := ValidateEnvWorkers(); err != nil {
+		t.Errorf("8 workers: %v", err)
+	}
+	for _, bad := range []string{"0", "-2", "abc", "10000000"} {
+		t.Setenv("UGRAPHER_WORKERS", bad)
+		err := ValidateEnvWorkers()
+		if err == nil {
+			t.Errorf("UGRAPHER_WORKERS=%q accepted, want error", bad)
+			continue
+		}
+		// The CLI contract: the error names the valid range.
+		if !strings.Contains(err.Error(), "1 through 4096") {
+			t.Errorf("error %q does not list the valid range", err)
+		}
+	}
+	// The backend constructor honours a valid env count and survives (with a
+	// warning) an invalid one.
+	t.Setenv("UGRAPHER_WORKERS", "6")
+	if got := NewShardedParallelBackend(0, 1).Workers(); got != 6 {
+		t.Errorf("workers = %d, want 6 from env", got)
+	}
+	t.Setenv("UGRAPHER_WORKERS", "bogus")
+	if got := NewShardedParallelBackend(0, 1).Workers(); got < 1 {
+		t.Errorf("workers = %d with invalid env, want NumCPU fallback", got)
 	}
 }
 

@@ -30,6 +30,10 @@ type ResilientBackend struct {
 	secondary ExecBackend
 	logw      io.Writer
 	fallbacks atomic.Int64
+	// window counts fallbacks since the last Reset. Fallbacks stays
+	// monotonic for the process lifetime; window supports per-interval rates
+	// (a metrics scraper calls Reset each window and reports the delta).
+	window atomic.Int64
 }
 
 // NewResilientBackend wraps primary (nil = the parallel host backend) with
@@ -57,8 +61,20 @@ func (b *ResilientBackend) SetLogger(w io.Writer) {
 }
 
 // Fallbacks reports how many times the ladder fell back to the secondary
-// backend (lowering failures and run failures both count).
+// backend (lowering failures and run failures both count). The counter is
+// monotonic for the backend's lifetime; use Snapshot/Reset for windowed
+// rates.
 func (b *ResilientBackend) Fallbacks() int64 { return b.fallbacks.Load() }
+
+// Snapshot reports the fallbacks recorded since the last Reset without
+// disturbing the window. Together with Reset it supports per-window fallback
+// rates (e.g. a serving layer's per-scrape gauge) on top of the monotonic
+// Fallbacks counter.
+func (b *ResilientBackend) Snapshot() int64 { return b.window.Load() }
+
+// Reset returns the fallbacks recorded since the previous Reset and zeroes
+// the window. Fallbacks() is unaffected.
+func (b *ResilientBackend) Reset() int64 { return b.window.Swap(0) }
 
 // Workers reports the primary backend's worker-pool size (1 when the
 // primary runs sequentially).
@@ -75,6 +91,7 @@ func (b *ResilientBackend) logf(format string, args ...any) {
 func (b *ResilientBackend) countFallback(op string) {
 	//lint:allow hook-discipline -- fallbacks must be counted even with telemetry disabled; this is a cold error path
 	telemetry.RecordFallback(op, b.primary.Name(), b.secondary.Name())
+	b.window.Add(1)
 	if b.fallbacks.Add(1) == 1 {
 		b.logf("warning: first fallback from %s to %s — the primary backend is failing kernels; rerun with -trace/-metrics for details",
 			b.primary.Name(), b.secondary.Name())

@@ -74,6 +74,22 @@ const (
 	// one vertex (shard-no-alias), 3 scrambles the cross-shard merge order
 	// (shard-merge-order).
 	CorruptShardPlan
+	// SlowHandler delays the serving layer's HTTP handler before admission
+	// by the armed Spec's Delay, simulating a slow ingress path so drain and
+	// per-request deadline guarantees can be proven under handler latency.
+	SlowHandler
+	// QueueStall delays a serve batch worker before it collects the next
+	// batch, so the bounded per-model queue fills and the admission
+	// controller's fast 429 rejection can be proven under load.
+	QueueStall
+	// KernelPanicLoad is KernelPanic restricted to the parallel host
+	// backend's workers (the sharded path included, the reference
+	// interpreter excluded). Sustained-failure scenarios — the serve layer's
+	// circuit breaker tripping under load — arm it with Every: 1 so every
+	// primary-path run panics while the reference fallback keeps producing
+	// correct outputs; the shared KernelPanic point cannot express that,
+	// because the fallback rung fires it too.
+	KernelPanicLoad
 
 	numPoints
 )
@@ -82,6 +98,7 @@ var pointNames = [numPoints]string{
 	"kernel-panic", "nan-poke", "slow-chunk", "lower-fail",
 	"corrupt-operand-kind", "corrupt-fusion", "corrupt-buffer-plan", "corrupt-atomic-flag",
 	"corrupt-fusion-region", "corrupt-shard-plan",
+	"slow-handler", "queue-stall", "kernel-panic-load",
 }
 
 // String names the point.
@@ -108,6 +125,10 @@ type Spec struct {
 	Seed  uint64
 	// Delay is how long SlowChunk sleeps per firing (default 10ms).
 	Delay time.Duration
+	// Limit caps the total number of fires (0 = unlimited): after Limit
+	// fires the point stays armed but silent. Long-running scenarios use it
+	// to inject a bounded burst of faults and then let the system recover.
+	Limit int
 }
 
 type pointState struct {
@@ -209,6 +230,9 @@ func (st *pointState) fire() (bool, int64) {
 	defer st.mu.Unlock()
 	st.calls++
 	call := st.calls
+	if st.spec.Limit > 0 && st.fires >= int64(st.spec.Limit) {
+		return false, call
+	}
 	var hit bool
 	if st.spec.Rate > 0 {
 		// Map the hash to [0,1) with 53 bits of precision.

@@ -1,13 +1,17 @@
 package models
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/gpu"
 	"repro/internal/predictor"
+	"repro/internal/program"
 	"repro/internal/tensor"
 )
 
@@ -212,6 +216,77 @@ func TestCompiledRunZeroAllocs(t *testing.T) {
 					m.Name(), shards, allocs)
 			}
 		}
+	}
+}
+
+// TestCompiledRunConcurrentGuard pins the documented concurrency contract:
+// a CompiledProgram's intermediates share one arena, so two goroutines must
+// never run it at once — and when they try, the loser fails loudly with
+// program.ErrConcurrentRun instead of silently corrupting the arena. A
+// SlowChunk injection holds one run inside its first graph kernel long
+// enough that the second call deterministically overlaps; run under -race
+// this also proves the guard itself is race-free.
+func TestCompiledRunConcurrentGuard(t *testing.T) {
+	defer faultinject.Reset()
+	g := smallGraph(t, 27)
+	const inFeat, classes = 8, 3
+	eng := &FixedEngine{
+		EngineName:   "fixed-test",
+		Dev:          gpu.V100(),
+		AggrSchedule: core.DefaultSchedule,
+		MsgCSchedule: core.DefaultSchedule,
+		Fuses:        true,
+		Compute:      core.NewParallelBackend(1),
+	}
+	cp, err := CompileModel(NewGCN(), g, inFeat, classes, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewDense(g.NumVertices(), inFeat)
+	x.FillRandom(rand.New(rand.NewSource(9)), 1)
+	want, err := cp.Run(x) // warm, fault-free baseline
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := want.Clone()
+
+	// Whichever run reaches a graph kernel first sleeps 150ms (fire-once);
+	// the other call lands inside that window and must be rejected.
+	faultinject.Arm(faultinject.SlowChunk, faultinject.Spec{After: 1, Limit: 1, Delay: 150 * time.Millisecond})
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := cp.Run(x)
+		errc <- err
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond)
+	_, err2 := cp.Run(x)
+	err1 := <-errc
+
+	rejected := 0
+	for _, e := range []error{err1, err2} {
+		switch {
+		case e == nil:
+		case errors.Is(e, program.ErrConcurrentRun):
+			rejected++
+		default:
+			t.Fatalf("unexpected error from overlapping Run: %v", e)
+		}
+	}
+	if rejected != 1 {
+		t.Fatalf("overlapping runs rejected = %d, want exactly 1 ErrConcurrentRun (err1=%v, err2=%v)", rejected, err1, err2)
+	}
+
+	// The program stays usable after a rejected call, and the guard released.
+	faultinject.Reset()
+	out, err := cp.Run(x)
+	if err != nil {
+		t.Fatalf("Run after rejected overlap: %v", err)
+	}
+	if !out.Equal(snap) {
+		t.Error("post-overlap run differs from baseline")
 	}
 }
 

@@ -2,6 +2,7 @@ package program
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -136,9 +137,18 @@ func regionInPlaceStage(t *tensor.Dense, chain []Unary) core.RegionStage {
 	}
 }
 
+// ErrConcurrentRun reports two goroutines calling Run/RunCtx on the same
+// CompiledProgram at once. The program's intermediates live in one shared
+// arena, so overlapping runs would silently corrupt each other's buffers;
+// the guard turns that data race into a loud, immediate error. Callers that
+// need concurrency compile one program per goroutine or serialize calls
+// (e.g. through a single worker, as internal/serve does).
+var ErrConcurrentRun = errors.New("program: concurrent Run on a CompiledProgram (not safe for concurrent use; compile one program per goroutine or serialize calls)")
+
 // CompiledProgram is a model forward pass compiled for one graph, scheduler
 // and backend. Run may be called repeatedly; it is not safe for concurrent
-// use (all intermediates live in one shared arena).
+// use (all intermediates live in one shared arena) — overlapping calls fail
+// fast with ErrConcurrentRun.
 type CompiledProgram struct {
 	pre    *Program // recorded program, kept for re-verification
 	prog   *Program
@@ -150,6 +160,8 @@ type CompiledProgram struct {
 	steps  []step
 	stats  Stats
 	scheds []ScheduledOp
+	// running guards against concurrent Run calls (0 = idle, 1 = running).
+	running atomic.Int32
 }
 
 // Compile lowers p onto graph g with schedules chosen by s and kernels
@@ -426,6 +438,10 @@ func (cp *CompiledProgram) revalidate() error {
 // After a cancelled run the arena holds partial intermediates; the next Run
 // overwrites them, so the program remains usable.
 func (cp *CompiledProgram) RunCtx(ctx context.Context, x *tensor.Dense) (*tensor.Dense, error) {
+	if !cp.running.CompareAndSwap(0, 1) {
+		return nil, ErrConcurrentRun
+	}
+	defer cp.running.Store(0)
 	if x == nil || x.Rows != cp.input.Rows || x.Cols != cp.input.Cols {
 		got := "nil"
 		if x != nil {

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/program"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// The model host: one goroutine per model owns that model's two compiled
+// programs (primary and degraded) and is the only goroutine that ever runs
+// them. A CompiledProgram shares one arena across runs and is not safe for
+// concurrent use (program.ErrConcurrentRun makes that loud); serializing
+// through a single worker is what makes the rest of the layer — batching,
+// breaker bookkeeping, fault handling — free of locks on the execution
+// path. Throughput under concurrency comes from batching: requests that
+// arrive while a batch is running coalesce into the next one, so N queued
+// requests cost one forward pass, not N.
+
+// request is one admitted inference request, queued for the host worker.
+type request struct {
+	vertices []int
+	features *tensor.Dense // optional caller-supplied input; runs as a solo batch
+	deadline time.Time     // server-enforced; the batch ctx carries the max over members
+	resp     chan response // buffered(1): the worker never blocks on a slow client
+}
+
+// response is what the worker delivers back to the handler.
+type response struct {
+	logits   [][]float32
+	batched  int  // members in the batch that served this request
+	degraded bool // served by the degraded (resilient) program
+	err      error
+}
+
+// modelHost owns one model's queue, programs and breaker.
+type modelHost struct {
+	name    string
+	queue   chan *request
+	pending *request // feature-bearing request deferred by collect; worker-only
+
+	primary   *program.CompiledProgram
+	fallback  *program.CompiledProgram
+	resilient *core.ResilientBackend // the fallback program's backend, for window rates
+
+	features *tensor.Dense // stored feature matrix (seed 42, as cmd/ugrapher)
+	classes  int
+	maxBatch int
+
+	br   *breaker
+	m    hostMetrics
+	done chan struct{} // closed when the worker exits
+}
+
+// run is the worker loop: take one request, coalesce what else is queued,
+// execute the batch, deliver. Exits when the queue is closed and drained.
+func (h *modelHost) run() {
+	defer close(h.done)
+	for {
+		first := h.pending
+		h.pending = nil
+		if first == nil {
+			var ok bool
+			first, ok = <-h.queue
+			if !ok {
+				return
+			}
+		}
+		// QueueStall models a stalled worker (e.g. a scheduling hiccup
+		// before batch collection); armed only by tests and -faults.
+		faultinject.MaybeSleep(faultinject.QueueStall)
+		h.runBatch(h.collect(first))
+	}
+}
+
+// collect coalesces queued requests behind first into one batch, up to
+// maxBatch. Requests carrying their own feature matrix cannot share a
+// forward pass with anyone else, so they always run as a batch of one; if
+// one shows up mid-collection it is parked in h.pending for the next
+// iteration rather than dropped back into the (contended) queue.
+func (h *modelHost) collect(first *request) []*request {
+	batch := []*request{first}
+	if first.features != nil {
+		return batch
+	}
+	for len(batch) < h.maxBatch {
+		select {
+		case r, ok := <-h.queue:
+			if !ok {
+				return batch
+			}
+			if r.features != nil {
+				h.pending = r
+				return batch
+			}
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes one coalesced forward pass and distributes the rows.
+//
+// Deadline propagation: the batch context carries the latest member
+// deadline, so the kernels themselves are cut off once nobody is left
+// waiting; members with earlier deadlines are answered 504 by their own
+// handler (each watches its own timer) without cancelling the batch for
+// the rest. Delivery never blocks: response channels are buffered, so one
+// slow or departed client cannot wedge the worker.
+func (h *modelHost) runBatch(batch []*request) {
+	now := time.Now()
+	deadline := batch[0].deadline
+	for _, r := range batch[1:] {
+		if r.deadline.After(deadline) {
+			deadline = r.deadline
+		}
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+
+	usePrimary, probe := h.br.route(now)
+	cp, label := h.primary, "primary"
+	if !usePrimary {
+		cp, label = h.fallback, "degraded"
+		h.m.degraded.Inc()
+	}
+	x := h.features
+	if batch[0].features != nil {
+		x = batch[0].features
+	}
+
+	h.m.batches.Inc()
+	sp := telemetry.StartSpan("serve", "batch", h.name+"/"+label)
+	out, err := cp.RunCtx(ctx, x)
+	if err != nil {
+		sp.EndErr(err.Error())
+	} else {
+		sp.End()
+	}
+
+	if usePrimary {
+		var ke *core.KernelError
+		switch {
+		case err == nil:
+			h.br.onSuccess(probe)
+		case errors.As(err, &ke):
+			h.br.onFailure(probe, time.Now())
+		default:
+			// Deadline/cancellation: says nothing about the primary's health.
+			h.br.onInconclusive(time.Now())
+		}
+	}
+
+	degraded := !usePrimary
+	for _, r := range batch {
+		if err != nil {
+			r.resp <- response{err: err, batched: len(batch), degraded: degraded}
+			continue
+		}
+		r.resp <- response{
+			logits:   extractRows(out, r.vertices),
+			batched:  len(batch),
+			degraded: degraded,
+		}
+	}
+}
+
+// extractRows copies the requested vertex rows out of the arena-resident
+// output, which the next batch overwrites.
+func extractRows(out *tensor.Dense, vertices []int) [][]float32 {
+	rows := make([][]float32, len(vertices))
+	for i, v := range vertices {
+		row := make([]float32, out.Cols)
+		copy(row, out.Data[v*out.Cols:(v+1)*out.Cols])
+		rows[i] = row
+	}
+	return rows
+}
+
+// validate checks a request's vertices against the graph.
+func (h *modelHost) validate(vertices []int, numVertices int) error {
+	if len(vertices) == 0 {
+		return fmt.Errorf("request needs at least one vertex id")
+	}
+	for _, v := range vertices {
+		if v < 0 || v >= numVertices {
+			return fmt.Errorf("vertex %d out of range [0, %d)", v, numVertices)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/telemetry"
+)
+
+// Serving-layer metric names, exported through the telemetry registry's
+// Prometheus writer alongside the execution-layer series
+// (ugrapher_fallbacks_total, kernel histograms, ...). Counters are updated
+// at the event site; gauges are refreshed at scrape time by the /metrics
+// handler, which is the one consumer that needs a consistent snapshot.
+const (
+	// metricRequests counts admitted inference requests, per model.
+	metricRequests = "ugrapher_serve_requests_total"
+	// metricRejected counts fast-rejected requests (bounded queue full),
+	// per model — the backpressure signal.
+	metricRejected = "ugrapher_serve_rejected_total"
+	// metricTimeouts counts requests that hit their server-enforced
+	// deadline before their batch delivered, per model.
+	metricTimeouts = "ugrapher_serve_timeouts_total"
+	// metricBatches counts executed batches, per model; requests_total /
+	// batches_total is the realized coalescing factor.
+	metricBatches = "ugrapher_serve_batches_total"
+	// metricDegraded counts batches served by the degraded (resilient)
+	// program while the breaker was open, per model.
+	metricDegraded = "ugrapher_serve_degraded_total"
+	// metricBreakerTransitions counts breaker state transitions, labelled
+	// by model and target state.
+	metricBreakerTransitions = "ugrapher_serve_breaker_transitions_total"
+	// metricQueueDepth gauges the per-model queue occupancy at scrape time.
+	metricQueueDepth = "ugrapher_serve_queue_depth"
+	// metricBreakerState gauges the breaker state at scrape time
+	// (0 = closed, 1 = open, 2 = half-open).
+	metricBreakerState = "ugrapher_serve_breaker_state"
+	// metricFallbackWindow gauges the resilient-ladder fallbacks since the
+	// previous scrape (core.ResilientBackend.Reset per window), per model.
+	// The monotonic total stays in ugrapher_fallbacks_total.
+	metricFallbackWindow = "ugrapher_serve_fallback_window"
+	// metricRequestSeconds is the admitted-request latency histogram
+	// (admission to response delivery), per model.
+	metricRequestSeconds = "ugrapher_serve_request_seconds"
+	// metricCompiles counts compile-cache misses (programs actually
+	// compiled); hits are requests_total-free cache lookups.
+	metricCompiles = "ugrapher_serve_compiles_total"
+)
+
+// hostMetrics resolves one model's counter/histogram series once, so the
+// request path never takes the registry map lock.
+type hostMetrics struct {
+	requests *telemetry.Counter
+	rejected *telemetry.Counter
+	timeouts *telemetry.Counter
+	batches  *telemetry.Counter
+	degraded *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+func newHostMetrics(model string) hostMetrics {
+	r := telemetry.Default()
+	return hostMetrics{
+		requests: r.Counter(telemetry.Series1(metricRequests, "model", model)),
+		rejected: r.Counter(telemetry.Series1(metricRejected, "model", model)),
+		timeouts: r.Counter(telemetry.Series1(metricTimeouts, "model", model)),
+		batches:  r.Counter(telemetry.Series1(metricBatches, "model", model)),
+		degraded: r.Counter(telemetry.Series1(metricDegraded, "model", model)),
+		latency: r.Histogram(telemetry.Series1(metricRequestSeconds, "model", model),
+			telemetry.DefaultLatencyBuckets),
+	}
+}
+
+// handleMetrics refreshes the scrape-time gauges and writes the Prometheus
+// snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := telemetry.Default()
+	for _, h := range s.hosts {
+		reg.Gauge(telemetry.Series1(metricQueueDepth, "model", h.name)).Set(float64(len(h.queue)))
+		reg.Gauge(telemetry.Series1(metricBreakerState, "model", h.name)).Set(float64(h.br.current()))
+		// One fallback window per scrape: the gauge carries this window's
+		// ladder activations, the monotonic ugrapher_fallbacks_total keeps
+		// the lifetime count.
+		reg.Gauge(telemetry.Series1(metricFallbackWindow, "model", h.name)).Set(float64(h.resilient.Reset()))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := reg.WritePrometheus(w); err != nil {
+		// The connection failed mid-write; nothing recoverable.
+		return
+	}
+}
