@@ -57,15 +57,18 @@ check: vet lint verify race faults
 # obs runs the observability suite under the race detector: the telemetry
 # package (exporter contracts, bounded buffers, concurrent recording) plus
 # the cross-layer tests (kernel-span count vs compiled-program stats,
-# injected-fault spans, resilient-fallback surfacing).
+# causal trace trees through RunCtx, traced zero-alloc, injected-fault
+# spans, resilient-fallback surfacing) and the serving-side trace tests.
 obs:
 	$(GO) test -race ./internal/telemetry/...
-	$(GO) test -race -run 'Telemetry|TraceKernelSpans' ./internal/models/...
+	$(GO) test -race -run 'Telemetry|Trace' ./internal/models/...
+	$(GO) test -race -run '^Test(Trace|Batch|Error|Untraced)' ./internal/serve/
 
 # bench-obs measures the telemetry hooks' cost around a copy_u.sum kernel
-# on AR and PR, enabled vs disabled; the enabled budget is <5%.
+# on AR and PR (enabled vs disabled) and the request-trace cost around a
+# compiled GCN forward (disabled / enabled / traced); the budget is <5%.
 bench-obs:
-	$(GO) test -run '^$$' -bench BenchmarkTelemetryOverhead .
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead|BenchmarkTraceOverhead' .
 
 # bench regenerates the reference-vs-parallel backend comparison on the
 # skewed (AR) and regular (PR) datasets.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -353,6 +354,64 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if err := k.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTraceOverhead measures the causal-tracing cost around a full
+// compiled forward pass, the unit the serving layer runs per batch:
+// "disabled" is the one-atomic-load path, "enabled" records track-local
+// spans, and "traced" additionally carries a request TraceState through the
+// context so every span gets ids, parent links and a TraceState record —
+// exactly what one /v1/infer costs inside RunCtx. This is the tracing-issue
+// acceptance benchmark; EXPERIMENTS.md records the measured overhead
+// (budget: <5% traced vs disabled).
+func BenchmarkTraceOverhead(b *testing.B) {
+	ar, pr := loadBackendBenchGraphs(b)
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{{"AR-skewed", ar}, {"PR-regular", pr}}
+	const feat, classes = 32, 16
+	m, err := models.ByName("GCN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, gr := range graphs {
+		eng := &models.FixedEngine{
+			EngineName:   "bench",
+			Dev:          gpu.V100(),
+			AggrSchedule: core.DefaultSchedule,
+			MsgCSchedule: core.DefaultSchedule,
+			Fuses:        true,
+			Compute:      core.NewParallelBackend(0),
+		}
+		x := tensor.NewDense(gr.g.NumVertices(), feat)
+		x.FillRandom(rand.New(rand.NewSource(7)), 1)
+		for _, mode := range []string{"disabled", "enabled", "traced"} {
+			mode := mode
+			b.Run(gr.name+"/GCN/"+mode, func(b *testing.B) {
+				telemetry.Reset()
+				defer telemetry.Reset()
+				telemetry.SetEnabled(mode != "disabled")
+				cp, err := models.CompileModel(m, gr.g, feat, classes, eng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := context.Background()
+				if mode == "traced" {
+					ctx = telemetry.ContextWithTrace(ctx, telemetry.NewTraceState(0, 0, 256))
+				}
+				if _, err := cp.RunCtx(ctx, x); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := cp.RunCtx(ctx, x); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -10,10 +10,15 @@
 //	curl -s localhost:8080/v1/infer -d '{"model":"GCN","vertices":[0,1,2]}'
 //	curl -s localhost:8080/metrics
 //
-// Endpoints: POST /v1/infer, GET /v1/models, /healthz, /readyz, /metrics.
+// Endpoints: POST /v1/infer, GET /v1/models, /healthz, /readyz, /metrics,
+// /debug/requests (tail-sampled slow/error span trees). -debug-addr opens a
+// second, operator-only listener carrying net/http/pprof — never the serving
+// port, so profiling cannot be reached from the service's exposure surface.
 // SIGTERM (or SIGINT) starts a graceful drain: /readyz flips unready, new
 // requests get 503, in-flight batches finish under -drain-timeout, then the
-// process exits 0.
+// process exits 0. With -trace, the collected causal trace (one span tree
+// per request; see DESIGN.md §8) is written as Chrome trace-event JSON after
+// the drain, openable in Perfetto.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +39,10 @@ import (
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
+
+// version identifies the build in ugrapher_build_info (no VCS stamping in
+// this build pipeline; bump by hand with releases).
+const version = "0.9.0"
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
@@ -50,6 +60,8 @@ func main() {
 	breakerCool := flag.Duration("breaker-cooldown", 2*time.Second, "open breaker cooldown before a half-open probe")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget after SIGTERM")
 	faults := flag.String("faults", "", "arm fault-injection points, e.g. 'queue-stall:after=1,limit=1,delay=2s;kernel-panic-load:every=1' (testing)")
+	debugAddr := flag.String("debug-addr", "", "operator-only debug listener with net/http/pprof (host:port; empty = off; never the serving port)")
+	tracePath := flag.String("trace", "", "write the collected Chrome trace-event JSON here after drain (openable in Perfetto)")
 	flag.Parse()
 
 	// Exit codes: 1 = startup/serve error, 2 = usage (bad flags or
@@ -75,6 +87,7 @@ func main() {
 	// A daemon always collects: breaker transitions, batch spans and the
 	// serving counters are the operator's only window into it.
 	telemetry.SetEnabled(true)
+	telemetry.Default().SetBuildInfo(version, serveBackendLabel(*backend))
 
 	cfg := serve.Config{
 		Dataset:          *dataset,
@@ -91,13 +104,35 @@ func main() {
 		BreakerCooldown:  *breakerCool,
 		DrainTimeout:     *drainTimeout,
 	}
-	if err := run(cfg, *addr); err != nil {
+	if err := run(cfg, *addr, *debugAddr, *tracePath); err != nil {
 		fmt.Fprintf(os.Stderr, "ugrapher-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg serve.Config, addr string) error {
+// serveBackendLabel is the build_info backend label: the effective backend
+// name for the default empty flag.
+func serveBackendLabel(backend string) string {
+	if backend == "" {
+		return "parallel"
+	}
+	return backend
+}
+
+// debugMux builds the operator-only pprof mux. The handlers are registered
+// on a private mux — not http.DefaultServeMux — so nothing else can
+// accidentally expose them, and they exist only on the -debug-addr listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(cfg serve.Config, addr, debugAddr, tracePath string) error {
 	compileStart := time.Now()
 	s, err := serve.New(cfg)
 	if err != nil {
@@ -116,6 +151,23 @@ func run(cfg serve.Config, addr string) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
+	// The debug listener is strictly separate from the serving port: pprof
+	// never rides the mux that admission control and the load balancer see.
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Printf("debug listening on %s\n", dln.Addr())
+		debugSrv = &http.Server{Handler: debugMux()}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "ugrapher-serve: debug listener: %v\n", err)
+			}
+		}()
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	select {
@@ -131,6 +183,18 @@ func run(cfg serve.Config, addr string) error {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && drainErr == nil {
 		drainErr = err
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(ctx)
+	}
+	// The trace is written after the drain so in-flight requests' span
+	// trees are complete; a failed drain still writes what was collected.
+	if tracePath != "" {
+		opts := telemetry.CLIOptions{TracePath: tracePath}
+		if err := opts.Finish(os.Stdout); err != nil && drainErr == nil {
+			drainErr = err
+		}
+		fmt.Printf("trace written to %s\n", tracePath)
 	}
 	if drainErr != nil {
 		return drainErr

@@ -30,6 +30,11 @@ import (
 //   - no-alloc-in-run: Run/RunCtx bodies of kernel types must not
 //     lexically allocate (make/new/append, non-deferred closures) — the
 //     zero-steady-state contract TestCompiledRunZeroAllocs asserts.
+//   - trace-propagation: internal/core and internal/program adopt the
+//     request trace from ctx (StartSpanCtx, EndCtx) but never mint or
+//     attach one — NewTraceState/ContextWithTrace/MintTraceID belong to
+//     the admission layer (DESIGN.md §8); a layer that mints breaks the
+//     one-tree-per-request invariant and allocates on the hot path.
 //
 // Exemptions are explicit: `//lint:allow <rule> -- <reason>` on the
 // offending line or the line above. A directive without a reason is itself
@@ -40,11 +45,12 @@ const (
 	LintHookDiscipline     = "hook-discipline"
 	LintPanicJustification = "panic-justification"
 	LintNoAllocInRun       = "no-alloc-in-run"
+	LintTracePropagation   = "trace-propagation"
 	LintDirective          = "lint-directive"
 )
 
 // LintRules lists the linter's rules.
-var LintRules = []string{LintHookDiscipline, LintPanicJustification, LintNoAllocInRun, LintDirective}
+var LintRules = []string{LintHookDiscipline, LintPanicJustification, LintNoAllocInRun, LintTracePropagation, LintDirective}
 
 // Finding is one linter hit.
 type Finding struct {
@@ -69,6 +75,11 @@ var hookPackages = map[string]map[string]bool{
 	"repro/internal/telemetry": {
 		"Enabled":              true,
 		"StartSpan":            true,
+		"StartSpanCtx":         true,
+		"StartTraceSpan":       true,
+		"TraceOf":              true,
+		"RecordSpan":           true,
+		"FlowLink":             true,
 		"RecordScheduleChoice": true,
 		"CountProgramRun":      true,
 		"CountTrainerEpoch":    true,
@@ -89,6 +100,15 @@ var hookPackages = map[string]map[string]bool{
 // hookDisciplinedDirs are the package directories (by path suffix) whose
 // hot paths the hook-discipline rule protects.
 var hookDisciplinedDirs = []string{"internal/core", "internal/program"}
+
+// traceMintFuncs are the telemetry functions that create or attach a trace
+// context. Only the admission layer (internal/serve) may call them; the
+// hook-disciplined execution layers adopt the trace from ctx instead.
+var traceMintFuncs = map[string]bool{
+	"NewTraceState":    true,
+	"ContextWithTrace": true,
+	"MintTraceID":      true,
+}
 
 // kernelReceiver matches the receiver type names whose Run/RunCtx methods
 // the no-alloc rule audits.
@@ -346,6 +366,7 @@ func (lf *fileLinter) checkNode(n ast.Node, path []ast.Node) {
 	switch node := n.(type) {
 	case *ast.CallExpr:
 		lf.checkHookCall(node, path)
+		lf.checkTraceMint(node)
 		lf.checkPanic(node, path)
 	case *ast.FuncDecl:
 		lf.checkRunBody(node)
@@ -420,6 +441,29 @@ func (lf *fileLinter) checkHookCall(call *ast.CallExpr, path []ast.Node) {
 	lf.report(call.Pos(), LintHookDiscipline,
 		fmt.Sprintf("%s.%s is not disarmed by a single atomic load; guard it with `if %s.Enabled()` or use a self-guarded hook",
 			qual.Name, sel.Sel.Name, qual.Name))
+}
+
+// checkTraceMint enforces trace-propagation: the hook-disciplined layers
+// never mint or attach a trace context, guarded or not — an Enabled() guard
+// does not make minting legitimate, it only hides the broken tree.
+func (lf *fileLinter) checkTraceMint(call *ast.CallExpr) {
+	if !lf.hookScoped {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	qual, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if lf.pkgPathOf(qual) != "repro/internal/telemetry" || !traceMintFuncs[sel.Sel.Name] {
+		return
+	}
+	lf.report(call.Pos(), LintTracePropagation,
+		fmt.Sprintf("%s.%s mints/attaches a trace context inside a hook-disciplined layer; adopt the request trace from ctx (StartSpanCtx, EndCtx) — traces are minted at admission only",
+			qual.Name, sel.Sel.Name))
 }
 
 // isGuardCall reports whether e is a call to pkg.Enabled() or pkg.Armed(..)

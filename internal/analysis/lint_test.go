@@ -314,3 +314,57 @@ func TestFindingString(t *testing.T) {
 		t.Errorf("String() = %q", got)
 	}
 }
+
+func TestLintTracePropagation(t *testing.T) {
+	const hdr = `package core
+import (
+	"context"
+	"repro/internal/telemetry"
+)
+`
+	t.Run("minting in a hook-disciplined dir is flagged", func(t *testing.T) {
+		fs := lintOne(t, "internal/core", hdr+`
+func f(ctx context.Context) {
+	ts := telemetry.NewTraceState(0, 0, 8)
+	_ = telemetry.ContextWithTrace(ctx, ts)
+}
+`)
+		var hits int
+		for _, f := range fs {
+			if f.Rule == LintTracePropagation {
+				hits++
+			}
+		}
+		if hits != 2 {
+			t.Fatalf("want two trace-propagation findings (mint + attach), got %d in %v", hits, fs)
+		}
+	})
+	t.Run("an Enabled guard does not legitimise minting", func(t *testing.T) {
+		fs := lintOne(t, "internal/program", hdr+`
+func f() {
+	if telemetry.Enabled() {
+		_ = telemetry.MintTraceID()
+	}
+}
+`)
+		wantFinding(t, fs, LintTracePropagation)
+	})
+	t.Run("adopting the ctx trace is the sanctioned pattern", func(t *testing.T) {
+		fs := lintOne(t, "internal/core", hdr+`
+func f(ctx context.Context) {
+	sp := telemetry.StartSpanCtx(ctx, "a", "b", "c")
+	prev := sp.MakeCurrent()
+	sp.RestoreCurrent(prev)
+	sp.End()
+	_ = telemetry.TraceOf(ctx)
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("minting outside the audited dirs is fine", func(t *testing.T) {
+		fs := lintOne(t, "internal/serve", hdr+`
+func f() { _ = telemetry.NewTraceState(0, 0, 8) }
+`)
+		wantClean(t, fs)
+	})
+}

@@ -193,7 +193,7 @@ func (k *parallelKernel) RunCtx(ctx context.Context) (err error) {
 	// observes the panic already converted into err.
 	defer func() {
 		oc, detail := outcomeOf(err)
-		k.site.End(tstart, oc, detail, nil)
+		k.site.EndCtx(ctx, tstart, oc, detail, nil)
 	}()
 	defer func() {
 		if r := recover(); r != nil {

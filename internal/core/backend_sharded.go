@@ -201,7 +201,7 @@ func (k *shardedKernel) RunCtx(ctx context.Context) (err error) {
 	tstart := k.site.Begin()
 	defer func() {
 		oc, detail := outcomeOf(err)
-		k.site.End(tstart, oc, detail, nil)
+		k.site.EndCtx(ctx, tstart, oc, detail, nil)
 	}()
 	defer func() {
 		if r := recover(); r != nil {

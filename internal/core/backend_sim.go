@@ -83,7 +83,7 @@ func (k *simKernel) RunCtx(ctx context.Context) error {
 	tstart := k.site.Begin()
 	if err := k.compute.RunCtx(ctx); err != nil {
 		oc, detail := outcomeOf(err)
-		k.site.End(tstart, oc, detail, nil)
+		k.site.EndCtx(ctx, tstart, oc, detail, nil)
 		return err
 	}
 	k.metrics = gpu.Simulate(k.b.dev, k.gk, k.b.opts...)
@@ -93,7 +93,7 @@ func (k *simKernel) RunCtx(ctx context.Context) error {
 		L1HitRate: k.metrics.L1HitRate,
 		L2HitRate: k.metrics.L2HitRate,
 	}
-	k.site.End(tstart, telemetry.OutcomeOK, "", &k.sample)
+	k.site.EndCtx(ctx, tstart, telemetry.OutcomeOK, "", &k.sample)
 	return nil
 }
 

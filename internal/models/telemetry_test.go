@@ -1,6 +1,7 @@
 package models
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -80,5 +81,139 @@ func TestTraceKernelSpansMatchCompiledProgram(t *testing.T) {
 	}
 	if kernelSpans != 2*want {
 		t.Errorf("trace has %d kernel spans after two Runs, want %d", kernelSpans, 2*want)
+	}
+}
+
+// TestTraceCausalParentLinksThroughRun pins the tentpole invariant from the
+// tracing issue: when a request's TraceState rides the context into RunCtx,
+// every span the layers below emit — the run span, each program step, each
+// backend kernel — carries the trace id and a parent link that resolves
+// inside the same trace, forming one connected tree.
+func TestTraceCausalParentLinksThroughRun(t *testing.T) {
+	telemetry.Reset()
+	t.Cleanup(telemetry.Reset)
+	telemetry.SetEnabled(true)
+
+	g := smallGraph(t, 29)
+	const inFeat, classes = 12, 5
+	eng := &FixedEngine{
+		EngineName:   "fixed-test",
+		Dev:          gpu.V100(),
+		AggrSchedule: core.DefaultSchedule,
+		MsgCSchedule: core.DefaultSchedule,
+		Fuses:        true,
+		Compute:      core.NewParallelBackend(1),
+	}
+	x := tensor.NewDense(g.NumVertices(), inFeat)
+	x.FillRandom(rand.New(rand.NewSource(78)), 1)
+
+	cp, err := CompileModel(NewGCN(), g, inFeat, classes, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := telemetry.NewTraceState(0, 0, 128)
+	ctx := telemetry.ContextWithTrace(context.Background(), ts)
+	if _, err := cp.RunCtx(ctx, x); err != nil {
+		t.Fatal(err)
+	}
+
+	var runID uint64
+	stepIDs := map[uint64]bool{}
+	var kernels, steps int
+	for _, ev := range telemetry.Default().Events() {
+		if ev.Instant || ev.TraceID == 0 {
+			continue
+		}
+		if ev.TraceID != ts.TraceID() {
+			t.Errorf("span %q carries trace %x, want %x", ev.Name, ev.TraceID, ts.TraceID())
+		}
+		if ev.SpanID == 0 {
+			t.Errorf("traced span %q has no span id", ev.Name)
+		}
+		switch ev.Cat {
+		case "run":
+			runID = ev.SpanID
+		case "step":
+			stepIDs[ev.SpanID] = true
+			steps++
+		}
+	}
+	if runID == 0 || steps == 0 {
+		t.Fatalf("trace missing run/step spans (run=%d steps=%d)", runID, steps)
+	}
+	for _, ev := range telemetry.Default().Events() {
+		if ev.Instant || ev.TraceID == 0 {
+			continue
+		}
+		switch ev.Cat {
+		case "step":
+			if ev.ParentID != runID {
+				t.Errorf("step %q parents onto %d, want run span %d", ev.Name, ev.ParentID, runID)
+			}
+		case "kernel":
+			kernels++
+			if !stepIDs[ev.ParentID] {
+				t.Errorf("kernel %q parents onto %d, not a step span", ev.Name, ev.ParentID)
+			}
+		}
+	}
+	if want := cp.Stats().GraphKernels; kernels != want {
+		t.Errorf("traced kernel spans = %d, want %d", kernels, want)
+	}
+	// The TraceState retained the same tree for the exemplar store.
+	spans, truncated := ts.Snapshot()
+	if truncated != 0 || len(spans) == 0 {
+		t.Fatalf("trace state snapshot: %d spans, %d truncated", len(spans), truncated)
+	}
+}
+
+// TestTracedRunZeroAllocs extends the steady-state guarantee to the traced
+// enabled path: with telemetry on and a request TraceState flowing through
+// the context, RunCtx still allocates nothing per run. Span identity rides in
+// value structs, span records land in the TraceState's pre-sized buffer (or
+// bump its truncation count once full), and kernel spans reuse the site's
+// precomputed args map.
+func TestTracedRunZeroAllocs(t *testing.T) {
+	telemetry.Reset()
+	t.Cleanup(telemetry.Reset)
+	telemetry.SetEnabled(true)
+	// Pre-size the global event buffer so appends never reallocate the
+	// backing array mid-measurement.
+	telemetry.Default().SetMaxEvents(1 << 16)
+
+	g := smallGraph(t, 24)
+	const inFeat, classes = 16, 7
+	x := tensor.NewDense(g.NumVertices(), inFeat)
+	x.FillRandom(rand.New(rand.NewSource(3)), 1)
+
+	for _, shards := range []int{1, 4} {
+		eng := &FixedEngine{
+			EngineName:   "fixed-test",
+			Dev:          gpu.V100(),
+			AggrSchedule: core.DefaultSchedule,
+			MsgCSchedule: core.DefaultSchedule,
+			Fuses:        true,
+			Compute:      core.NewShardedParallelBackend(1, shards),
+		}
+		for _, m := range All() {
+			cp, err := CompileModel(m, g, inFeat, classes, eng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := telemetry.NewTraceState(0, 0, 512)
+			ctx := telemetry.ContextWithTrace(context.Background(), ts)
+			if _, err := cp.RunCtx(ctx, x); err != nil { // warm up
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := cp.RunCtx(ctx, x); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s shards=%d: traced RunCtx allocates %.1f objects/run, want 0",
+					m.Name(), shards, allocs)
+			}
+		}
 	}
 }

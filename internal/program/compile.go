@@ -452,27 +452,39 @@ func (cp *CompiledProgram) RunCtx(ctx context.Context, x *tensor.Dense) (*tensor
 	if err := cp.revalidate(); err != nil {
 		return nil, err
 	}
-	run := telemetry.StartSpan("program", "run", "forward")
+	// StartSpanCtx adopts the request trace from ctx when one is present
+	// (minted at serving admission, DESIGN.md §8); the run span becomes the
+	// causal parent of the step spans, and each step span of the kernel
+	// spans below it, via the trace's mutation-based current pointer — no
+	// per-span context derivation, so the steady state stays zero-alloc.
+	run := telemetry.StartSpanCtx(ctx, "program", "run", "forward")
+	prevRun := run.MakeCurrent()
 	done := ctx.Done()
 	copy(cp.input.Data, x.Data)
 	for i := range cp.steps {
 		if done != nil {
 			select {
 			case <-done:
+				run.RestoreCurrent(prevRun)
 				run.EndErr("cancelled")
 				return nil, ctx.Err()
 			default:
 			}
 		}
 		st := &cp.steps[i]
-		sp := telemetry.StartSpan("program", "step", st.label)
+		sp := telemetry.StartSpanCtx(ctx, "program", "step", st.label)
+		prevStep := sp.MakeCurrent()
 		if err := cp.runStep(ctx, st); err != nil {
+			sp.RestoreCurrent(prevStep)
 			sp.EndErr(err.Error())
+			run.RestoreCurrent(prevRun)
 			run.EndErr(err.Error())
 			return nil, err
 		}
+		sp.RestoreCurrent(prevStep)
 		sp.End()
 	}
+	run.RestoreCurrent(prevRun)
 	run.End()
 	telemetry.CountProgramRun()
 	return cp.output, nil

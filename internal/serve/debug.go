@@ -1,0 +1,122 @@
+package serve
+
+// /debug/requests: the tail-sampled exemplar view. Where /metrics answers
+// "how slow is p99", this endpoint answers "what did the slowest requests
+// actually spend their time on" — each retained request renders its stage
+// breakdown and its full causal span tree (children nested under parents),
+// reconstructed from the TraceState's span records.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// debugStage is one stage of a request's breakdown, in milliseconds.
+type debugStage struct {
+	Stage string  `json:"stage"`
+	MS    float64 `json:"ms"`
+}
+
+// debugSpan is one span of the causal tree, children nested.
+type debugSpan struct {
+	Name     string       `json:"name"`
+	Cat      string       `json:"cat"`
+	Track    string       `json:"track"`
+	StartNs  int64        `json:"start_ns"`
+	DurNs    int64        `json:"dur_ns"`
+	SpanID   string       `json:"span_id"`
+	ParentID string       `json:"parent_id,omitempty"`
+	Err      string       `json:"error,omitempty"`
+	Children []*debugSpan `json:"children,omitempty"`
+}
+
+// debugRequest is one retained request exemplar.
+type debugRequest struct {
+	TraceID        string       `json:"trace_id"`
+	Model          string       `json:"model"`
+	Status         string       `json:"status"`
+	WallMS         float64      `json:"wall_ms"`
+	Err            string       `json:"error,omitempty"`
+	Stages         []debugStage `json:"stages,omitempty"`
+	TruncatedSpans int          `json:"truncated_spans,omitempty"`
+	Spans          []*debugSpan `json:"spans,omitempty"`
+}
+
+// buildSpanTree nests span records by parent link. Spans whose parent is
+// unknown (an adopted remote parent, or a parent past the truncation cap)
+// surface as roots rather than vanish.
+func buildSpanTree(spans []telemetry.SpanRecord, tracks []string) []*debugSpan {
+	nodes := make(map[uint64]*debugSpan, len(spans))
+	ordered := make([]*debugSpan, 0, len(spans))
+	for _, sp := range spans {
+		track := ""
+		if sp.Track >= 0 && sp.Track < len(tracks) {
+			track = tracks[sp.Track]
+		}
+		n := &debugSpan{
+			Name: sp.Name, Cat: sp.Cat, Track: track,
+			StartNs: sp.Start, DurNs: sp.Dur,
+			SpanID: fmt.Sprintf("%x", sp.SpanID),
+			Err:    sp.Err,
+		}
+		if sp.ParentID != 0 {
+			n.ParentID = fmt.Sprintf("%x", sp.ParentID)
+		}
+		nodes[sp.SpanID] = n
+		ordered = append(ordered, n)
+	}
+	var roots []*debugSpan
+	for i, sp := range spans {
+		if parent, ok := nodes[sp.ParentID]; ok && sp.ParentID != sp.SpanID {
+			parent.Children = append(parent.Children, ordered[i])
+		} else {
+			roots = append(roots, ordered[i])
+		}
+	}
+	var sortByStart func(ns []*debugSpan)
+	sortByStart = func(ns []*debugSpan) {
+		sort.SliceStable(ns, func(i, j int) bool { return ns[i].StartNs < ns[j].StartNs })
+		for _, n := range ns {
+			sortByStart(n.Children)
+		}
+	}
+	sortByStart(roots)
+	return roots
+}
+
+func renderExemplar(ex telemetry.RequestExemplar, tracks []string) debugRequest {
+	out := debugRequest{
+		TraceID: fmt.Sprintf("%016x", ex.TraceID),
+		Model:   ex.Model, Status: ex.Status,
+		WallMS: float64(ex.WallNs) / 1e6, Err: ex.Err,
+		TruncatedSpans: ex.Truncated,
+		Spans:          buildSpanTree(ex.Spans, tracks),
+	}
+	for _, st := range ex.Stages {
+		out.Stages = append(out.Stages, debugStage{Stage: st.Stage, MS: float64(st.Ns) / 1e6})
+	}
+	return out
+}
+
+// handleDebugRequests renders the exemplar store: the slowest retained
+// requests (slowest first) and the most recent errored ones, each with its
+// stage breakdown and span tree.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	slow, errs := s.exemplars.Snapshot()
+	tracks := telemetry.Default().TrackNames()
+	out := struct {
+		RequestsSeen int64          `json:"requests_seen"`
+		Slowest      []debugRequest `json:"slowest"`
+		Errors       []debugRequest `json:"errors"`
+	}{RequestsSeen: s.exemplars.Seen()}
+	for _, ex := range slow {
+		out.Slowest = append(out.Slowest, renderExemplar(ex, tracks))
+	}
+	for _, ex := range errs {
+		out.Errors = append(out.Errors, renderExemplar(ex, tracks))
+	}
+	writeJSON(w, http.StatusOK, out)
+}

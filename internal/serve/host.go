@@ -29,6 +29,15 @@ type request struct {
 	features *tensor.Dense // optional caller-supplied input; runs as a solo batch
 	deadline time.Time     // server-enforced; the batch ctx carries the max over members
 	resp     chan response // buffered(1): the worker never blocks on a slow client
+
+	// Trace identity and stage stamps (span-clock ns), set at admission
+	// while telemetry is enabled; ts nil means untraced. dequeued is
+	// written by the worker and read by the handler only after the
+	// response channel receive (the channel is the happens-before edge).
+	ts       *telemetry.TraceState
+	rootSpan uint64
+	enqueued int64
+	dequeued int64
 }
 
 // response is what the worker delivers back to the handler.
@@ -37,6 +46,10 @@ type response struct {
 	batched  int  // members in the batch that served this request
 	degraded bool // served by the degraded (resilient) program
 	err      error
+	// Forward-pass stamps (span-clock ns) for stage attribution; zero when
+	// untraced.
+	runStart int64
+	runEnd   int64
 }
 
 // modelHost owns one model's queue, programs and breaker.
@@ -85,6 +98,7 @@ func (h *modelHost) run() {
 // one shows up mid-collection it is parked in h.pending for the next
 // iteration rather than dropped back into the (contended) queue.
 func (h *modelHost) collect(first *request) []*request {
+	stampDequeue(first)
 	batch := []*request{first}
 	if first.features != nil {
 		return batch
@@ -95,6 +109,7 @@ func (h *modelHost) collect(first *request) []*request {
 			if !ok {
 				return batch
 			}
+			stampDequeue(r)
 			if r.features != nil {
 				h.pending = r
 				return batch
@@ -105,6 +120,15 @@ func (h *modelHost) collect(first *request) []*request {
 		}
 	}
 	return batch
+}
+
+// stampDequeue marks the end of a request's queue_wait stage: the moment the
+// worker pulled it off the queue. Traced requests only (ts is set iff the
+// request was admitted with telemetry enabled).
+func stampDequeue(r *request) {
+	if r.ts != nil {
+		r.dequeued = telemetry.Now()
+	}
 }
 
 // runBatch executes one coalesced forward pass and distributes the rows.
@@ -138,8 +162,44 @@ func (h *modelHost) runBatch(batch []*request) {
 	}
 
 	h.m.batches.Inc()
-	sp := telemetry.StartSpan("serve", "batch", h.name+"/"+label)
+	h.m.batchSize.ObserveValue(float64(len(batch)))
+
+	// Fan-in linking: the batch span (and the program run, steps and
+	// kernels below it) joins the *lead* trace — the first traced member's
+	// tree — so one member always owns a fully connected tree. Every other
+	// member is linked to the batch span by a flow arrow, so its tree stays
+	// navigable across the N-requests-to-1-forward coalescing.
+	var lead *telemetry.TraceState
+	for _, r := range batch {
+		if r.ts != nil {
+			lead = r.ts
+			break
+		}
+	}
+	sp := telemetry.StartTraceSpan(lead, "serve", "batch", h.name+"/"+label)
+	prev := sp.MakeCurrent()
+	var runStart, runEnd int64
+	if lead != nil {
+		for _, r := range batch {
+			if r.ts != nil && r.ts != lead {
+				telemetry.FlowLink("batch", "coalesced",
+					telemetry.FlowPoint{Track: "serve", Ts: r.dequeued, Trace: r.ts.TraceID(), Span: r.rootSpan},
+					telemetry.FlowPoint{Track: "serve", Ts: sp.Start(), Trace: lead.TraceID(), Span: sp.SpanID()})
+			}
+		}
+		if !usePrimary {
+			// The breaker's routing decision as a zero-length span on the
+			// tree: *why* this batch ran degraded.
+			telemetry.RecordSpan(lead, "serve", "breaker", "degraded-route", sp.Start(), sp.Start(), sp.SpanID())
+		}
+		ctx = telemetry.ContextWithTrace(ctx, lead)
+		runStart = telemetry.Now()
+	}
 	out, err := cp.RunCtx(ctx, x)
+	if lead != nil {
+		runEnd = telemetry.Now()
+	}
+	sp.RestoreCurrent(prev)
 	if err != nil {
 		sp.EndErr(err.Error())
 	} else {
@@ -161,14 +221,27 @@ func (h *modelHost) runBatch(batch []*request) {
 
 	degraded := !usePrimary
 	for _, r := range batch {
+		if r.ts != nil {
+			// Per-member stage attribution: each member's own tree carries
+			// its queue_wait / batch_wait and the shared kernel interval,
+			// parented onto that member's root span.
+			telemetry.RecordSpan(r.ts, "serve", "stage", "queue_wait", r.enqueued, r.dequeued, r.rootSpan)
+			telemetry.RecordSpan(r.ts, "serve", "stage", "batch_wait", r.dequeued, runStart, r.rootSpan)
+			telemetry.RecordSpan(r.ts, "serve", "stage", "kernel", runStart, runEnd, r.rootSpan)
+			h.m.stageQueueWait.Observe(r.dequeued - r.enqueued)
+			h.m.stageBatchWait.Observe(runStart - r.dequeued)
+			h.m.stageKernel.Observe(runEnd - runStart)
+		}
 		if err != nil {
-			r.resp <- response{err: err, batched: len(batch), degraded: degraded}
+			r.resp <- response{err: err, batched: len(batch), degraded: degraded, runStart: runStart, runEnd: runEnd}
 			continue
 		}
 		r.resp <- response{
 			logits:   extractRows(out, r.vertices),
 			batched:  len(batch),
 			degraded: degraded,
+			runStart: runStart,
+			runEnd:   runEnd,
 		}
 	}
 }

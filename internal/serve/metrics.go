@@ -44,21 +44,45 @@ const (
 	// metricCompiles counts compile-cache misses (programs actually
 	// compiled); hits are requests_total-free cache lookups.
 	metricCompiles = "ugrapher_serve_compiles_total"
+	// metricStageSeconds is the per-stage latency attribution histogram,
+	// labelled by model and stage (admission, queue_wait, batch_wait,
+	// compile, kernel, respond) — the aggregate view of the per-request
+	// timing breakdown (DESIGN.md §8).
+	metricStageSeconds = "ugrapher_serve_stage_seconds"
+	// metricBatchSize is the realized coalescing distribution per model;
+	// requests_total/batches_total only yields the mean, and the shape is
+	// what says whether -batch is sized right.
+	metricBatchSize = "ugrapher_serve_batch_size"
 )
 
 // hostMetrics resolves one model's counter/histogram series once, so the
 // request path never takes the registry map lock.
 type hostMetrics struct {
-	requests *telemetry.Counter
-	rejected *telemetry.Counter
-	timeouts *telemetry.Counter
-	batches  *telemetry.Counter
-	degraded *telemetry.Counter
-	latency  *telemetry.Histogram
+	requests  *telemetry.Counter
+	rejected  *telemetry.Counter
+	timeouts  *telemetry.Counter
+	batches   *telemetry.Counter
+	degraded  *telemetry.Counter
+	latency   *telemetry.Histogram
+	batchSize *telemetry.Histogram
+
+	// Stage-attribution histograms (one per stage; observed in ns like
+	// every latency series). Registered eagerly so /metrics carries every
+	// stage series from the first scrape, observations or not.
+	stageAdmission *telemetry.Histogram
+	stageQueueWait *telemetry.Histogram
+	stageBatchWait *telemetry.Histogram
+	stageKernel    *telemetry.Histogram
+	stageRespond   *telemetry.Histogram
+	stageCompile   *telemetry.Histogram
 }
 
 func newHostMetrics(model string) hostMetrics {
 	r := telemetry.Default()
+	stage := func(name string) *telemetry.Histogram {
+		return r.Histogram(telemetry.Series2(metricStageSeconds, "model", model, "stage", name),
+			telemetry.DefaultLatencyBuckets)
+	}
 	return hostMetrics{
 		requests: r.Counter(telemetry.Series1(metricRequests, "model", model)),
 		rejected: r.Counter(telemetry.Series1(metricRejected, "model", model)),
@@ -67,6 +91,14 @@ func newHostMetrics(model string) hostMetrics {
 		degraded: r.Counter(telemetry.Series1(metricDegraded, "model", model)),
 		latency: r.Histogram(telemetry.Series1(metricRequestSeconds, "model", model),
 			telemetry.DefaultLatencyBuckets),
+		batchSize: r.Histogram(telemetry.Series1(metricBatchSize, "model", model),
+			telemetry.BatchSizeBuckets),
+		stageAdmission: stage("admission"),
+		stageQueueWait: stage("queue_wait"),
+		stageBatchWait: stage("batch_wait"),
+		stageKernel:    stage("kernel"),
+		stageRespond:   stage("respond"),
+		stageCompile:   stage("compile"),
 	}
 }
 

@@ -45,6 +45,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/program"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -80,6 +81,15 @@ type Config struct {
 	BreakerCooldown  time.Duration
 	// DrainTimeout bounds how long Drain waits for in-flight work.
 	DrainTimeout time.Duration
+	// ExemplarSlow and ExemplarErrors bound the tail-sampled request
+	// exemplar store behind /debug/requests: the N slowest and the N most
+	// recent errored requests keep their full span trees.
+	ExemplarSlow   int
+	ExemplarErrors int
+	// TraceSpanCap bounds the span records retained per request trace
+	// (beyond it, spans still export to the global buffer but drop from the
+	// request's own tree).
+	TraceSpanCap int
 }
 
 // applyDefaults fills zero fields with serving defaults.
@@ -120,6 +130,15 @@ func (c *Config) applyDefaults() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.ExemplarSlow <= 0 {
+		c.ExemplarSlow = 16
+	}
+	if c.ExemplarErrors <= 0 {
+		c.ExemplarErrors = 16
+	}
+	if c.TraceSpanCap <= 0 {
+		c.TraceSpanCap = 192
+	}
 }
 
 // Server is the daemon: per-model hosts behind an HTTP mux.
@@ -130,6 +149,8 @@ type Server struct {
 	order []string              // canonical names, load order
 	cache *programCache
 	mux   *http.ServeMux
+	// exemplars is the tail-sampled request store behind /debug/requests.
+	exemplars *telemetry.ExemplarStore
 
 	ready atomic.Bool
 	// gate serializes admission against drain: handlers take the read
@@ -155,10 +176,11 @@ func New(cfg Config) (*Server, error) {
 	x.FillRandom(rand.New(rand.NewSource(42)), 1)
 
 	s := &Server{
-		cfg:   cfg,
-		g:     g,
-		hosts: make(map[string]*modelHost),
-		cache: newProgramCache(),
+		cfg:       cfg,
+		g:         g,
+		hosts:     make(map[string]*modelHost),
+		cache:     newProgramCache(),
+		exemplars: telemetry.NewExemplarStore(cfg.ExemplarSlow, cfg.ExemplarErrors),
 	}
 	for _, name := range cfg.Models {
 		m, err := models.ByName(name)
@@ -200,6 +222,9 @@ func (s *Server) newHost(m models.Model, x *tensor.Dense) (*modelHost, error) {
 		return nil, err
 	}
 	dev := gpu.V100()
+	// Compile time is a stage like any other: cache misses below record into
+	// the per-model stage histogram so a cold start is attributable.
+	compileStart := time.Now()
 	primary, err := s.cache.Get(
 		cacheKey{Model: m.Name(), Dataset: s.cfg.Dataset, Backend: b.Name(), Shards: s.cfg.Shards},
 		func() (*program.CompiledProgram, error) {
@@ -224,6 +249,8 @@ func (s *Server) newHost(m models.Model, x *tensor.Dense) (*modelHost, error) {
 	if err != nil {
 		return nil, err
 	}
+	hm := newHostMetrics(m.Name())
+	hm.stageCompile.Observe(int64(time.Since(compileStart)))
 	return &modelHost{
 		name:      m.Name(),
 		queue:     make(chan *request, s.cfg.QueueDepth),
@@ -234,7 +261,7 @@ func (s *Server) newHost(m models.Model, x *tensor.Dense) (*modelHost, error) {
 		classes:   s.cfg.Classes,
 		maxBatch:  s.cfg.MaxBatch,
 		br:        newBreaker(m.Name(), s.cfg.BreakerThreshold, s.cfg.BreakerCooldown),
-		m:         newHostMetrics(m.Name()),
+		m:         hm,
 		done:      make(chan struct{}),
 	}, nil
 }
@@ -246,6 +273,7 @@ func (s *Server) buildMux() {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -313,6 +341,9 @@ type inferResponse struct {
 	Logits   [][]float32 `json:"logits"`
 	Batched  int         `json:"batched"`
 	Degraded bool        `json:"degraded"`
+	// Timing is the per-stage latency breakdown, present while telemetry is
+	// enabled.
+	Timing *timingBreakdown `json:"timing,omitempty"`
 }
 
 type errorResponse struct {
@@ -334,27 +365,68 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // with a non-blocking send (full queue → fast 429), then wait for the
 // worker's response or this request's own deadline, whichever is first.
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	// The trace context is minted (or adopted from traceparent /
+	// X-Request-ID) before anything else can stall the handler, so a
+	// middleware-style delay — the slow-handler fault below — lands inside
+	// the admission stage of this request's own span tree.
+	var (
+		ts      *telemetry.TraceState
+		root    telemetry.Span
+		arrived int64
+	)
+	if telemetry.Enabled() {
+		arrived = telemetry.Now()
+		id, parent := traceIdentity(r)
+		ts = telemetry.NewTraceState(id, parent, s.cfg.TraceSpanCap)
+		root = telemetry.StartTraceSpan(ts, "serve", "request", "infer")
+		root.MakeCurrent()
+		w.Header().Set("X-Trace-Id", fmt.Sprintf("%016x", ts.TraceID()))
+	}
+	status, errText, model := "error", "", ""
+	defer func() {
+		if ts == nil {
+			return
+		}
+		if status == "ok" {
+			root.End()
+		} else {
+			root.EndErr(errText)
+		}
+		spans, truncated := ts.Snapshot()
+		s.exemplars.Offer(telemetry.RequestExemplar{
+			TraceID: ts.TraceID(), Model: model, Status: status,
+			Start: arrived, WallNs: telemetry.Now() - arrived,
+			Err: errText, Stages: stagePoints(spans),
+			Spans: spans, Truncated: truncated,
+		})
+	}()
+	fail := func(code int, format string, args ...any) {
+		errText = fmt.Sprintf(format, args...)
+		writeError(w, code, "%s", errText)
+	}
+
 	// SlowHandler models a stalled handler (e.g. slow TLS termination or
 	// middleware); armed only by tests and -faults.
 	faultinject.MaybeSleep(faultinject.SlowHandler)
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		fail(http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req inferRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		fail(http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	h, ok := s.hosts[strings.ToLower(req.Model)]
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown model %q (serving: %s)",
+		fail(http.StatusNotFound, "unknown model %q (serving: %s)",
 			req.Model, strings.Join(s.order, ", "))
 		return
 	}
+	model = h.name
 	if err := h.validate(req.Vertices, s.g.NumVertices()); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		fail(http.StatusBadRequest, "%v", err)
 		return
 	}
 	var features *tensor.Dense
@@ -362,7 +434,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		var err error
 		features, err = denseFromRows(req.Features, s.g.NumVertices(), s.cfg.Feat)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			fail(http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
@@ -378,7 +450,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	s.gate.RLock()
 	if s.draining {
 		s.gate.RUnlock()
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		fail(http.StatusServiceUnavailable, "draining")
 		return
 	}
 	s.inflight.Add(1)
@@ -392,15 +464,22 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		deadline: start.Add(timeout),
 		resp:     make(chan response, 1),
 	}
+	if ts != nil {
+		enqueued := telemetry.Now()
+		telemetry.RecordSpan(ts, "serve", "stage", "admission", arrived, enqueued, root.SpanID())
+		h.m.stageAdmission.Observe(enqueued - arrived)
+		rq.ts, rq.rootSpan, rq.enqueued = ts, root.SpanID(), enqueued
+	}
 	select {
 	case h.queue <- rq:
 		h.m.requests.Inc()
 	default:
 		// Reject-fast backpressure: no blocking, no queueing beyond the
 		// bound. Retry-After steers well-behaved clients off the spike.
+		status = "rejected"
 		h.m.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "model %s queue full (depth %d)", h.name, s.cfg.QueueDepth)
+		fail(http.StatusTooManyRequests, "model %s queue full (depth %d)", h.name, s.cfg.QueueDepth)
 		return
 	}
 
@@ -411,22 +490,40 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		h.m.latency.Observe(int64(time.Since(start)))
 		switch {
 		case resp.err == nil:
-			writeJSON(w, http.StatusOK, inferResponse{
+			status = "ok"
+			out := inferResponse{
 				Model: h.name, Logits: resp.logits,
 				Batched: resp.batched, Degraded: resp.degraded,
-			})
+			}
+			if ts != nil {
+				done := telemetry.Now()
+				telemetry.RecordSpan(ts, "serve", "stage", "respond", resp.runEnd, done, root.SpanID())
+				h.m.stageRespond.Observe(done - resp.runEnd)
+				out.Timing = &timingBreakdown{
+					TraceID:     fmt.Sprintf("%016x", ts.TraceID()),
+					AdmissionMS: msBetween(arrived, rq.enqueued),
+					QueueWaitMS: msBetween(rq.enqueued, rq.dequeued),
+					BatchWaitMS: msBetween(rq.dequeued, resp.runStart),
+					KernelMS:    msBetween(resp.runStart, resp.runEnd),
+					RespondMS:   msBetween(resp.runEnd, done),
+					TotalMS:     msBetween(arrived, done),
+				}
+			}
+			writeJSON(w, http.StatusOK, out)
 		case errors.Is(resp.err, context.DeadlineExceeded):
+			status = "timeout"
 			h.m.timeouts.Inc()
-			writeError(w, http.StatusGatewayTimeout, "deadline exceeded in batch: %v", resp.err)
+			fail(http.StatusGatewayTimeout, "deadline exceeded in batch: %v", resp.err)
 		default:
-			writeError(w, http.StatusInternalServerError, "inference failed: %v", resp.err)
+			fail(http.StatusInternalServerError, "inference failed: %v", resp.err)
 		}
 	case <-timer.C:
 		// This member's own deadline passed while its batch was still
 		// running (or queued). The batch carries on for members with more
 		// budget; the buffered response channel absorbs our late result.
+		status = "timeout"
 		h.m.timeouts.Inc()
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", timeout)
+		fail(http.StatusGatewayTimeout, "deadline exceeded after %v", timeout)
 	}
 }
 

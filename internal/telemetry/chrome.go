@@ -4,13 +4,20 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
 )
 
 // Chrome trace-event exporter: the collected spans render as one row per
 // track in chrome://tracing or https://ui.perfetto.dev. The format is the
 // "JSON object" flavour of the trace-event spec: a traceEvents array of
 // complete ("X") and instant ("i") events plus thread_name metadata ("M")
-// naming each track.
+// naming each track. Causal traces add three phases (DESIGN.md §8):
+//
+//   - "s"/"f"  flow arrows — the batching fan-in links from each member
+//     request's root span to the batch span that executed it;
+//   - "b"/"e"  async nestable events — every traced span is shadowed as an
+//     async pair under id = trace id and cat "request", so Perfetto groups
+//     one tree per request regardless of which track the work ran on.
 
 // chromeEvent is one trace-event record. Ts and Dur are microseconds (the
 // unit the spec fixes); fractional microseconds keep nanosecond ordering.
@@ -23,12 +30,33 @@ type chromeEvent struct {
 	Ts   float64           `json:"ts"`
 	Dur  float64           `json:"dur,omitempty"`
 	S    string            `json:"s,omitempty"`
+	ID   string            `json:"id,omitempty"`
+	Bp   string            `json:"bp,omitempty"`
 	Args map[string]string `json:"args,omitempty"`
 }
 
 type chromeTrace struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func hexID(v uint64) string { return strconv.FormatUint(v, 16) }
+
+// traceArgs extends args with the causal identity. The source map may be
+// shared (KernelSite.okArgs), so it is copied, never mutated.
+func traceArgs(ev TraceEvent) map[string]string {
+	out := make(map[string]string, len(ev.Args)+3)
+	for k, v := range ev.Args {
+		out[k] = v
+	}
+	out["trace_id"] = hexID(ev.TraceID)
+	if ev.SpanID != 0 {
+		out["span_id"] = hexID(ev.SpanID)
+	}
+	if ev.ParentID != 0 {
+		out["parent_id"] = hexID(ev.ParentID)
+	}
+	return out
 }
 
 // WriteChromeTrace renders the registry's events as Chrome trace-event
@@ -64,14 +92,42 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 			Name: ev.Name, Cat: ev.Cat, Pid: 1, Tid: ev.Track,
 			Ts: float64(ev.Start) / 1e3, Args: ev.Args,
 		}
-		if ev.Instant {
+		if ev.TraceID != 0 {
+			ce.Args = traceArgs(ev)
+		}
+		switch {
+		case ev.FlowID != 0:
+			ce.ID = hexID(ev.FlowID)
+			if ev.FlowEnd {
+				ce.Ph = "f"
+				ce.Bp = "e" // bind to the enclosing slice, not the next one
+			} else {
+				ce.Ph = "s"
+			}
+		case ev.Instant:
 			ce.Ph = "i"
 			ce.S = "t"
-		} else {
+		default:
 			ce.Ph = "X"
 			ce.Dur = float64(ev.Dur) / 1e3
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
+
+		// Shadow every traced span as an async nestable pair keyed by the
+		// trace id: Perfetto renders the request's spans as one tree.
+		if ev.TraceID != 0 && ev.FlowID == 0 && !ev.Instant {
+			id := hexID(ev.TraceID)
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{
+					Name: ev.Name, Cat: "request", Ph: "b", Pid: 1, Tid: ev.Track,
+					Ts: float64(ev.Start) / 1e3, ID: id, Args: ce.Args,
+				},
+				chromeEvent{
+					Name: ev.Name, Cat: "request", Ph: "e", Pid: 1, Tid: ev.Track,
+					Ts: float64(ev.Start+ev.Dur) / 1e3, ID: id,
+				},
+			)
+		}
 	}
 
 	enc := json.NewEncoder(w)

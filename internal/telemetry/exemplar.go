@@ -1,0 +1,124 @@
+package telemetry
+
+// Tail-sampled request exemplars: a bounded store that retains the full span
+// tree of the slowest requests plus a ring of the most recent errored ones.
+// Aggregate histograms answer "how slow is p99"; exemplars answer "what did
+// the p99 request actually spend its time on". The store is sampling policy,
+// not collection: every request still records into its TraceState; Offer
+// merely decides which trees survive.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// StagePoint is one entry of a request's stage breakdown.
+type StagePoint struct {
+	Stage string `json:"stage"`
+	Ns    int64  `json:"ns"`
+}
+
+// RequestExemplar is one retained request: identity, outcome, the per-stage
+// latency breakdown and the full causal span tree.
+type RequestExemplar struct {
+	TraceID   uint64       `json:"trace_id"`
+	Model     string       `json:"model"`
+	Status    string       `json:"status"` // ok | error | timeout | degraded
+	Start     int64        `json:"start_ns"`
+	WallNs    int64        `json:"wall_ns"`
+	Err       string       `json:"error,omitempty"`
+	Stages    []StagePoint `json:"stages,omitempty"`
+	Spans     []SpanRecord `json:"spans,omitempty"`
+	Truncated int          `json:"truncated_spans,omitempty"`
+}
+
+// ExemplarStore holds the slowest maxSlow requests (by wall time) and a ring
+// of the last maxErr errored requests. Offer is cheap in the common case: a
+// request faster than the slowest retained one is rejected on one atomic
+// load once the store is full.
+type ExemplarStore struct {
+	maxSlow int
+	maxErr  int
+
+	// floor is the smallest retained WallNs once slow is full — the
+	// fast-reject gate read without the lock.
+	floor atomic.Int64
+
+	mu     sync.Mutex
+	slow   []RequestExemplar // sorted descending by WallNs
+	errs   []RequestExemplar // ring, most recent errPos-1
+	errPos int
+	seen   atomic.Int64
+}
+
+// NewExemplarStore builds a store retaining the maxSlow slowest and maxErr
+// most recent errored requests.
+func NewExemplarStore(maxSlow, maxErr int) *ExemplarStore {
+	if maxSlow < 1 {
+		maxSlow = 1
+	}
+	if maxErr < 1 {
+		maxErr = 1
+	}
+	return &ExemplarStore{maxSlow: maxSlow, maxErr: maxErr}
+}
+
+// Offer submits a completed request. Errored requests (Status != "ok") go to
+// the error ring; every request competes for the slow set.
+func (s *ExemplarStore) Offer(ex RequestExemplar) {
+	if s == nil {
+		return
+	}
+	s.seen.Add(1)
+	if ex.Status != "ok" {
+		s.mu.Lock()
+		if len(s.errs) < s.maxErr {
+			s.errs = append(s.errs, ex)
+		} else {
+			s.errs[s.errPos] = ex
+			s.errPos = (s.errPos + 1) % s.maxErr
+		}
+		s.mu.Unlock()
+		return
+	}
+	if f := s.floor.Load(); f > 0 && ex.WallNs <= f {
+		return // full and strictly faster than everything retained
+	}
+	s.mu.Lock()
+	s.slow = append(s.slow, ex)
+	sort.SliceStable(s.slow, func(i, j int) bool { return s.slow[i].WallNs > s.slow[j].WallNs })
+	if len(s.slow) > s.maxSlow {
+		s.slow = s.slow[:s.maxSlow]
+	}
+	if len(s.slow) == s.maxSlow {
+		s.floor.Store(s.slow[len(s.slow)-1].WallNs)
+	}
+	s.mu.Unlock()
+}
+
+// Seen reports how many requests were offered in total.
+func (s *ExemplarStore) Seen() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.seen.Load()
+}
+
+// Snapshot copies the retained exemplars: slowest first, then errors most
+// recent first.
+func (s *ExemplarStore) Snapshot() (slow, errs []RequestExemplar) {
+	if s == nil {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slow = make([]RequestExemplar, len(s.slow))
+	copy(slow, s.slow)
+	errs = make([]RequestExemplar, 0, len(s.errs))
+	for i := 0; i < len(s.errs); i++ {
+		idx := (s.errPos - 1 - i + 2*len(s.errs)) % len(s.errs)
+		errs = append(errs, s.errs[idx])
+	}
+	return slow, errs
+}

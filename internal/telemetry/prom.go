@@ -23,6 +23,18 @@ func family(series string) string {
 	return series
 }
 
+// splitSeries splits a full series name into family and label body (the
+// text between the braces, "" when unlabelled). Histogram rendering needs
+// both: the family takes the _bucket/_sum/_count suffix and the labels merge
+// with le, e.g. ugrapher_serve_request_seconds{model="GCN"} renders as
+// ugrapher_serve_request_seconds_bucket{model="GCN",le="0.001"}.
+func splitSeries(series string) (fam, labels string) {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i], strings.TrimSuffix(series[i+1:], "}")
+	}
+	return series, ""
+}
+
 // WritePrometheus renders the metrics snapshot in the Prometheus text
 // format.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -92,25 +104,42 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 
 	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	lastFamily := ""
 	for _, h := range hists {
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
-			return err
+		fam, labels := splitSeries(h.name)
+		if fam != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+				return err
+			}
+			lastFamily = fam
+		}
+		bucket := func(le string) string {
+			if labels == "" {
+				return fam + "_bucket{le=\"" + le + "\"}"
+			}
+			return fam + "_bucket{" + labels + ",le=\"" + le + "\"}"
+		}
+		suffixed := func(suffix string) string {
+			if labels == "" {
+				return fam + suffix
+			}
+			return fam + suffix + "{" + labels + "}"
 		}
 		cum := int64(0)
 		for i, b := range h.bounds {
 			cum += h.counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, formatFloat(b), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", bucket(formatFloat(b)), cum); err != nil {
 				return err
 			}
 		}
 		cum += h.counts[len(h.bounds)]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", bucket("+Inf"), cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum)); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n", suffixed("_sum"), formatFloat(h.sum)); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", h.name, h.count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", suffixed("_count"), h.count); err != nil {
 			return err
 		}
 	}

@@ -1,5 +1,7 @@
 package telemetry
 
+import "context"
+
 // Spans, trace events, kernel sites and the kernel-run record stream.
 //
 // The span hierarchy (DESIGN.md §8):
@@ -24,6 +26,16 @@ type TraceEvent struct {
 	// Instant marks a point event (Chrome ph "i") rather than a span.
 	Instant bool
 	Args    map[string]string
+
+	// Causal-trace identity (DESIGN.md §8). Zero values mean the event is
+	// track-local (pre-trace behaviour).
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+	// FlowID marks a flow-arrow endpoint (Chrome ph "s"/"f"); FlowEnd
+	// distinguishes the finish end.
+	FlowID  uint64
+	FlowEnd bool
 }
 
 // Track interns a track name to a stable id (the Chrome "tid").
@@ -83,6 +95,12 @@ type Span struct {
 	cat   string
 	track int
 	start int64
+
+	// Trace identity; zero when the span was opened without a TraceState.
+	ts       *TraceState
+	traceID  uint64
+	spanID   uint64
+	parentID uint64
 }
 
 // StartSpan opens a span on the default registry; see Registry.StartSpan.
@@ -120,10 +138,20 @@ func (s Span) end(args map[string]string) {
 	if s.reg == nil {
 		return
 	}
+	dur := now() - s.start
 	s.reg.addEvent(TraceEvent{
 		Name: s.name, Cat: s.cat, Track: s.track,
-		Start: s.start, Dur: now() - s.start, Args: args,
+		Start: s.start, Dur: dur, Args: args,
+		TraceID: s.traceID, SpanID: s.spanID, ParentID: s.parentID,
 	})
+	if s.ts != nil {
+		s.ts.record(SpanRecord{
+			Name: s.name, Cat: s.cat, Track: s.track,
+			Start: s.start, Dur: dur,
+			SpanID: s.spanID, ParentID: s.parentID,
+			Err: args["error"], // nil-map lookup is free on the OK path
+		})
+	}
 }
 
 // Instant records a point event on a track (fallbacks, schedule choices).
@@ -221,6 +249,9 @@ type KernelSite struct {
 	runs  *Counter
 	edges *Counter
 	wall  *Histogram
+	// okArgs is the span-args map for successful runs, built once at Lower
+	// time so the steady-state End path allocates nothing.
+	okArgs map[string]string
 
 	nRuns   Counter
 	nFails  Counter
@@ -243,6 +274,12 @@ func (r *Registry) NewKernelSite(op, strategy, schedule, backend string, vertice
 		runs:  r.Counter(Series2("ugrapher_kernel_runs_total", "backend", backend, "strategy", strategy)),
 		edges: r.Counter(Series1("ugrapher_kernel_edges_processed_total", "backend", backend)),
 		wall:  r.Histogram(MetricKernelWall, DefaultLatencyBuckets),
+		okArgs: map[string]string{
+			"op":       op,
+			"strategy": strategy,
+			"schedule": schedule,
+			"outcome":  string(OutcomeOK),
+		},
 	}
 	r.mu.Lock()
 	r.sites = append(r.sites, s)
@@ -267,6 +304,22 @@ func (s *KernelSite) End(start int64, outcome Outcome, errText string, sim *SimS
 	if s == nil || !Enabled() {
 		return
 	}
+	s.endTrace(nil, start, outcome, errText, sim)
+}
+
+// EndCtx is End under the request trace carried by ctx: the kernel span
+// parents onto the trace's current causal parent (the program step that ran
+// it). Inert while disabled or on a nil site; identical to End when ctx
+// carries no trace. The OK path allocates nothing — span args are the
+// precomputed okArgs, ids ride in the pre-sized structs.
+func (s *KernelSite) EndCtx(ctx context.Context, start int64, outcome Outcome, errText string, sim *SimSample) {
+	if s == nil || !Enabled() {
+		return
+	}
+	s.endTrace(TraceOf(ctx), start, outcome, errText, sim)
+}
+
+func (s *KernelSite) endTrace(ts *TraceState, start int64, outcome Outcome, errText string, sim *SimSample) {
 	end := now()
 	if start == 0 {
 		start = end // enabled mid-run: report a zero-length span, not garbage
@@ -283,11 +336,16 @@ func (s *KernelSite) End(start int64, outcome Outcome, errText string, sim *SimS
 		Vertices: s.Vertices, Edges: s.Edges,
 		WallNs: dur, Outcome: outcome, Err: errText,
 	}
-	args := map[string]string{
-		"op":       s.Op,
-		"strategy": s.Strategy,
-		"schedule": s.Schedule,
-		"outcome":  string(outcome),
+	// Steady state (ok, no sim) reuses the precomputed args map; failures
+	// and sim runs are cold and may allocate a fresh one.
+	args := s.okArgs
+	if outcome != OutcomeOK || sim != nil {
+		args = map[string]string{
+			"op":       s.Op,
+			"strategy": s.Strategy,
+			"schedule": s.Schedule,
+			"outcome":  string(outcome),
+		}
 	}
 	if outcome != OutcomeOK {
 		s.nFails.Inc()
@@ -309,10 +367,22 @@ func (s *KernelSite) End(start int64, outcome Outcome, errText string, sim *SimS
 		args["sim_cycles"] = formatFloat(sim.Cycles)
 	}
 	s.reg.addRecord(rec)
-	s.reg.addEvent(TraceEvent{
+	ev := TraceEvent{
 		Name: s.Op, Cat: "kernel", Track: s.track,
 		Start: start, Dur: dur, Args: args,
-	})
+	}
+	if ts != nil {
+		ev.TraceID = ts.traceID
+		ev.SpanID = nextSpanID()
+		ev.ParentID = ts.cur.Load()
+		ts.record(SpanRecord{
+			Name: s.Op, Cat: "kernel", Track: s.track,
+			Start: start, Dur: dur,
+			SpanID: ev.SpanID, ParentID: ev.ParentID,
+			Err: errText,
+		})
+	}
+	s.reg.addEvent(ev)
 }
 
 // SiteStats is the aggregate view of one kernel site (profile tables).

@@ -20,6 +20,7 @@ package telemetry
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -77,6 +78,11 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // of Table 3 span roughly 50us-100ms on the host backends).
 var DefaultLatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 
+// BatchSizeBuckets are the bounds for the serve batch-size histogram
+// (observed with ObserveValue): powers of two up to the plausible -batch
+// range.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // Histogram is a fixed-bucket latency histogram with atomic buckets. Bounds
 // are upper-inclusive in seconds (Prometheus "le" semantics); observations
 // arrive in nanoseconds.
@@ -99,6 +105,17 @@ func (h *Histogram) Observe(ns int64) {
 	i := sort.SearchFloat64s(h.bounds, s)
 	h.counts[i].Add(1)
 	h.sumNs.Add(ns)
+	h.count.Add(1)
+}
+
+// ObserveValue records one unitless observation (e.g. a batch size) against
+// bounds interpreted in the same unit. The sum is stored scaled so
+// SumSeconds — really "sum in the bound unit" for such histograms — stays
+// exact for small integers.
+func (h *Histogram) ObserveValue(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(v * 1e9))
 	h.count.Add(1)
 }
 
@@ -176,6 +193,34 @@ func (r *Registry) init() {
 	r.dropped = r.counterLocked(MetricDroppedEvents)
 	r.programRuns = r.counterLocked(MetricProgramRuns)
 	r.trainerEpochs = r.counterLocked(MetricTrainerEpochs)
+}
+
+// SetMaxEvents bounds the trace-event buffer at n events and pre-allocates
+// its backing array, so enabled-path appends never grow the slice — the
+// zero-alloc guarantee for traced steady-state runs. Events beyond the bound
+// are dropped and counted (ugrapher_trace_events_dropped_total).
+func (r *Registry) SetMaxEvents(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxEvents = n
+	if cap(r.events) < n {
+		grown := make([]TraceEvent, len(r.events), n)
+		copy(grown, r.events)
+		r.events = grown
+	}
+}
+
+// SetBuildInfo publishes the conventional ugrapher_build_info gauge (value
+// fixed at 1; the interesting data is in the labels). The Go toolchain
+// version label is filled in automatically.
+func (r *Registry) SetBuildInfo(version, backend string) {
+	r.Gauge(Series3("ugrapher_build_info",
+		"version", version,
+		"go_version", runtime.Version(),
+		"backend", backend)).Set(1)
 }
 
 // Reset clears every metric, track, event, record and site, restoring the
@@ -275,6 +320,14 @@ func Series1(name, key, value string) string {
 // Series2 renders name{k1="v1",k2="v2"} with keys in the given order.
 func Series2(name, k1, v1, k2, v2 string) string {
 	return name + "{" + k1 + "=\"" + escapeLabel(v1) + "\"," + k2 + "=\"" + escapeLabel(v2) + "\"}"
+}
+
+// Series3 renders name{k1="v1",k2="v2",k3="v3"} with keys in the given
+// order.
+func Series3(name, k1, v1, k2, v2, k3, v3 string) string {
+	return name + "{" + k1 + "=\"" + escapeLabel(v1) + "\"," +
+		k2 + "=\"" + escapeLabel(v2) + "\"," +
+		k3 + "=\"" + escapeLabel(v3) + "\"}"
 }
 
 func escapeLabel(v string) string {
