@@ -79,9 +79,11 @@ func lintSource(w *os.File, patterns []string) (clean bool, err error) {
 	return len(findings) == 0, nil
 }
 
-// verifyIR compiles every model under every basic strategy on both host
-// backends against a small synthetic graph and reports the static
-// verifier's result for each plan.
+// verifyIR compiles every model under every basic strategy on each host
+// backend — reference, parallel, and the sharded parallel backend — in both
+// fusion modes (cost-modeled regions and the classic pair-only rewrite)
+// against a small synthetic graph, and reports the static verifier's result
+// for each plan.
 func verifyIR(w *os.File) (clean bool, err error) {
 	rng := rand.New(rand.NewSource(7))
 	const n, m = 300, 2500
@@ -94,37 +96,51 @@ func verifyIR(w *os.File) (clean bool, err error) {
 		return false, err
 	}
 
-	backends := []core.ExecBackend{core.ReferenceBackend(), core.NewParallelBackend(0)}
+	backends := []core.ExecBackend{
+		core.ReferenceBackend(),
+		core.NewParallelBackend(0),
+		core.NewShardedParallelBackend(0, 4),
+	}
+	fusionModes := []struct {
+		name     string
+		pairOnly bool
+	}{
+		{"regions", false},
+		{"pair", true},
+	}
 	violations := 0
 	checked := 0
 	for _, mdl := range models.All() {
 		for _, strat := range core.Strategies {
 			for _, backend := range backends {
-				eng := &models.FixedEngine{
-					EngineName:   "verify",
-					Dev:          gpu.V100(),
-					AggrSchedule: core.Schedule{Strategy: strat, Group: 1, Tile: 1},
-					MsgCSchedule: core.Schedule{Strategy: strat, Group: 1, Tile: 1},
-					Fuses:        true,
-					Compute:      backend,
-				}
-				cp, cerr := models.CompileModel(mdl, g, 12, 5, eng)
-				if cerr != nil {
-					// Compilation itself rejects violating plans; count it as
-					// a violation of this combination.
-					fmt.Fprintf(w, "FAIL %-6s %-3s %-9s compile: %v\n", mdl.Name(), strat.Code(), backend.Name(), cerr)
-					violations++
-					continue
-				}
-				rep := cp.Verify()
-				checked++
-				if rep.OK() {
-					fmt.Fprintf(w, "ok   %-6s %-3s %-9s %d rules\n", mdl.Name(), strat.Code(), backend.Name(), len(rep.RulesChecked))
-					continue
-				}
-				violations += len(rep.Diags)
-				for _, d := range rep.Diags {
-					fmt.Fprintf(w, "FAIL %-6s %-3s %-9s %s\n", mdl.Name(), strat.Code(), backend.Name(), d)
+				for _, fm := range fusionModes {
+					eng := &models.FixedEngine{
+						EngineName:     "verify",
+						Dev:            gpu.V100(),
+						AggrSchedule:   core.Schedule{Strategy: strat, Group: 1, Tile: 1},
+						MsgCSchedule:   core.Schedule{Strategy: strat, Group: 1, Tile: 1},
+						Fuses:          true,
+						PairFusionOnly: fm.pairOnly,
+						Compute:        backend,
+					}
+					cp, cerr := models.CompileModel(mdl, g, 12, 5, eng)
+					if cerr != nil {
+						// Compilation itself rejects violating plans; count it as
+						// a violation of this combination.
+						fmt.Fprintf(w, "FAIL %-6s %-3s %-9s %-7s compile: %v\n", mdl.Name(), strat.Code(), backend.Name(), fm.name, cerr)
+						violations++
+						continue
+					}
+					rep := cp.Verify()
+					checked++
+					if rep.OK() {
+						fmt.Fprintf(w, "ok   %-6s %-3s %-9s %-7s %d rules\n", mdl.Name(), strat.Code(), backend.Name(), fm.name, len(rep.RulesChecked))
+						continue
+					}
+					violations += len(rep.Diags)
+					for _, d := range rep.Diags {
+						fmt.Fprintf(w, "FAIL %-6s %-3s %-9s %-7s %s\n", mdl.Name(), strat.Code(), backend.Name(), fm.name, d)
+					}
 				}
 			}
 		}

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/program"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -43,6 +44,14 @@ import (
 // version identifies the build in ugrapher_build_info (no VCS stamping in
 // this build pipeline; bump by hand with releases).
 const version = "0.9.0"
+
+// maxQueueDepth and maxBatchSize bound the -queue and -batch flags: a queue
+// channel and batch slice of these sizes are preallocated per model, so the
+// caps keep a fat-fingered flag from pinning gigabytes at startup.
+const (
+	maxQueueDepth = 1 << 16
+	maxBatchSize  = 1024
+)
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
@@ -59,6 +68,7 @@ func main() {
 	breakerN := flag.Int("breaker-threshold", 3, "consecutive kernel failures that trip a model's circuit breaker")
 	breakerCool := flag.Duration("breaker-cooldown", 2*time.Second, "open breaker cooldown before a half-open probe")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget after SIGTERM")
+	parallelSteps := flag.Bool("parallel-steps", false, "execute provably independent compiled steps concurrently (verified wave schedule)")
 	faults := flag.String("faults", "", "arm fault-injection points, e.g. 'queue-stall:after=1,limit=1,delay=2s;kernel-panic-load:every=1' (testing)")
 	debugAddr := flag.String("debug-addr", "", "operator-only debug listener with net/http/pprof (host:port; empty = off; never the serving port)")
 	tracePath := flag.String("trace", "", "write the collected Chrome trace-event JSON here after drain (openable in Perfetto)")
@@ -78,6 +88,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ugrapher-serve: %v\n", err)
 		os.Exit(2)
 	}
+	// serve.New silently substitutes defaults for non-positive queue/batch
+	// values; the CLI rejects them instead so a typo'd unit file fails loud
+	// at startup rather than running with a surprise configuration.
+	if *queue < 1 || *queue > maxQueueDepth {
+		fmt.Fprintf(os.Stderr, "ugrapher-serve: invalid -queue %d (valid: 1 through %d)\n", *queue, maxQueueDepth)
+		os.Exit(2)
+	}
+	if *batch < 1 || *batch > maxBatchSize {
+		fmt.Fprintf(os.Stderr, "ugrapher-serve: invalid -batch %d (valid: 1 through %d)\n", *batch, maxBatchSize)
+		os.Exit(2)
+	}
+	program.SetParallelSteps(*parallelSteps)
 	if *faults != "" {
 		if err := faultinject.ParseAndArm(*faults); err != nil {
 			fmt.Fprintf(os.Stderr, "ugrapher-serve: -faults: %v\n", err)

@@ -35,6 +35,12 @@ import (
 //     attach one — NewTraceState/ContextWithTrace/MintTraceID belong to
 //     the admission layer (DESIGN.md §8); a layer that mints breaks the
 //     one-tree-per-request invariant and allocates on the hot path.
+//   - goroutine-accounting: every `go` statement in internal/serve and
+//     internal/program must be visibly tracked — a WaitGroup Add before
+//     the spawn, a body that signals completion via a deferred Done() or
+//     by closing a channel — or carry an explicit allow directive. An
+//     unaccounted goroutine is a leak the drain/cancellation machinery
+//     cannot see.
 //
 // Exemptions are explicit: `//lint:allow <rule> -- <reason>` on the
 // offending line or the line above. A directive without a reason is itself
@@ -42,15 +48,16 @@ import (
 
 // Lint rule identifiers.
 const (
-	LintHookDiscipline     = "hook-discipline"
-	LintPanicJustification = "panic-justification"
-	LintNoAllocInRun       = "no-alloc-in-run"
-	LintTracePropagation   = "trace-propagation"
-	LintDirective          = "lint-directive"
+	LintHookDiscipline      = "hook-discipline"
+	LintPanicJustification  = "panic-justification"
+	LintNoAllocInRun        = "no-alloc-in-run"
+	LintTracePropagation    = "trace-propagation"
+	LintGoroutineAccounting = "goroutine-accounting"
+	LintDirective           = "lint-directive"
 )
 
 // LintRules lists the linter's rules.
-var LintRules = []string{LintHookDiscipline, LintPanicJustification, LintNoAllocInRun, LintTracePropagation, LintDirective}
+var LintRules = []string{LintHookDiscipline, LintPanicJustification, LintNoAllocInRun, LintTracePropagation, LintGoroutineAccounting, LintDirective}
 
 // Finding is one linter hit.
 type Finding struct {
@@ -100,6 +107,10 @@ var hookPackages = map[string]map[string]bool{
 // hookDisciplinedDirs are the package directories (by path suffix) whose
 // hot paths the hook-discipline rule protects.
 var hookDisciplinedDirs = []string{"internal/core", "internal/program"}
+
+// goroutineScopedDirs are the package directories (by path suffix) whose go
+// statements the goroutine-accounting rule audits.
+var goroutineScopedDirs = []string{"internal/serve", "internal/program"}
 
 // traceMintFuncs are the telemetry functions that create or attach a trace
 // context. Only the admission layer (internal/serve) may call them; the
@@ -270,16 +281,33 @@ func lintFiles(fset *token.FileSet, files []*ast.File, dir string) []Finding {
 	// Uses is still populated for package names and builtins.
 	_, _ = conf.Check(dir, fset, files, info)
 
-	hookScoped := false
+	hookScoped, goScoped := false, false
+	cleanDir := filepath.ToSlash(filepath.Clean(dir))
 	for _, suffix := range hookDisciplinedDirs {
-		if strings.HasSuffix(filepath.ToSlash(filepath.Clean(dir)), suffix) {
+		if strings.HasSuffix(cleanDir, suffix) {
 			hookScoped = true
+		}
+	}
+	for _, suffix := range goroutineScopedDirs {
+		if strings.HasSuffix(cleanDir, suffix) {
+			goScoped = true
+		}
+	}
+
+	// Cross-file function index, so a `go f()` / `go h.run()` spawn can be
+	// checked against its target's body wherever in the package it lives.
+	pkgFuncs := make(map[string]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				pkgFuncs[fd.Name.Name] = fd
+			}
 		}
 	}
 
 	var findings []Finding
 	for _, f := range files {
-		lf := &fileLinter{fset: fset, file: f, info: info, hookScoped: hookScoped}
+		lf := &fileLinter{fset: fset, file: f, info: info, hookScoped: hookScoped, goScoped: goScoped, pkgFuncs: pkgFuncs}
 		lf.collectComments()
 		lf.run()
 		findings = append(findings, lf.findings...)
@@ -293,6 +321,10 @@ type fileLinter struct {
 	file       *ast.File
 	info       *types.Info
 	hookScoped bool
+	goScoped   bool
+	// pkgFuncs indexes the package's function/method declarations by name
+	// (all files), for resolving `go f()` spawn targets.
+	pkgFuncs map[string]*ast.FuncDecl
 
 	// allow maps "line:rule" to true for every //lint:allow directive
 	// (covering the directive's own line and the next).
@@ -370,7 +402,76 @@ func (lf *fileLinter) checkNode(n ast.Node, path []ast.Node) {
 		lf.checkPanic(node, path)
 	case *ast.FuncDecl:
 		lf.checkRunBody(node)
+	case *ast.GoStmt:
+		lf.checkGoroutine(node, path)
 	}
+}
+
+// checkGoroutine enforces goroutine-accounting: a go statement in a scoped
+// package must be visibly tracked.
+func (lf *fileLinter) checkGoroutine(g *ast.GoStmt, path []ast.Node) {
+	if !lf.goScoped || lf.goAccounted(g, path) {
+		return
+	}
+	lf.report(g.Pos(), LintGoroutineAccounting,
+		"unaccounted goroutine: track it with a WaitGroup (Add before the spawn, deferred Done inside), signal completion by closing a channel, or justify with `//lint:allow goroutine-accounting -- <why>`")
+}
+
+// goAccounted reports whether the spawned goroutine is visibly tracked:
+// the enclosing function claims it on a WaitGroup (an Add call before the
+// spawn), or the spawned body — a function literal, or a same-package
+// function/method resolved through pkgFuncs — signals completion via a
+// deferred Done() or by closing a channel.
+func (lf *fileLinter) goAccounted(g *ast.GoStmt, path []ast.Node) bool {
+	for _, anc := range path {
+		fd, ok := anc.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		claimed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && call.Pos() < g.Pos() {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+					claimed = true
+				}
+			}
+			return !claimed
+		})
+		if claimed {
+			return true
+		}
+	}
+	var body *ast.BlockStmt
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if fd := lf.pkgFuncs[fun.Name]; fd != nil {
+			body = fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := lf.pkgFuncs[fun.Sel.Name]; fd != nil {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		return false
+	}
+	signalled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			if sel, ok := node.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				signalled = true
+			}
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok && lf.isBuiltin(id, "close") {
+				signalled = true
+			}
+		}
+		return !signalled
+	})
+	return signalled
 }
 
 // pkgPathOf resolves a selector qualifier to its import path, or "".

@@ -368,3 +368,98 @@ func f() { _ = telemetry.NewTraceState(0, 0, 8) }
 		wantClean(t, fs)
 	})
 }
+
+func TestLintGoroutineAccounting(t *testing.T) {
+	t.Run("unaccounted go statement is flagged", func(t *testing.T) {
+		fs := lintOne(t, "internal/serve", `package serve
+func f() {
+	go func() {
+		for {
+		}
+	}()
+}
+`)
+		wantFinding(t, fs, LintGoroutineAccounting)
+	})
+	t.Run("waitgroup Add before the spawn is accounted", func(t *testing.T) {
+		fs := lintOne(t, "internal/program", `package program
+import "sync"
+func f() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("literal body with deferred Done is accounted", func(t *testing.T) {
+		fs := lintOne(t, "internal/serve", `package serve
+import "sync"
+type s struct{ wg sync.WaitGroup }
+func (x *s) f() {
+	go func() {
+		defer x.wg.Done()
+	}()
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("literal body closing a channel is accounted", func(t *testing.T) {
+		fs := lintOne(t, "internal/serve", `package serve
+func f(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("named spawn target resolved through the package index", func(t *testing.T) {
+		fs := lintOne(t, "internal/serve", `package serve
+type host struct{ done chan struct{} }
+func (h *host) run() {
+	defer close(h.done)
+}
+func (h *host) start() {
+	go h.run()
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("named spawn target without a signal is flagged", func(t *testing.T) {
+		fs := lintOne(t, "internal/program", `package program
+func worker() {
+	for {
+	}
+}
+func f() {
+	go worker()
+}
+`)
+		wantFinding(t, fs, LintGoroutineAccounting)
+	})
+	t.Run("allow directive suppresses with a reason", func(t *testing.T) {
+		fs := lintOne(t, "internal/program", `package program
+func worker() {}
+func f() {
+	//lint:allow goroutine-accounting -- process-lifetime pool worker
+	go worker()
+}
+`)
+		wantClean(t, fs)
+	})
+	t.Run("unscoped package is not audited", func(t *testing.T) {
+		fs := lintOne(t, "internal/core", `package core
+func f() {
+	go func() {
+		for {
+		}
+	}()
+}
+`)
+		wantClean(t, fs)
+	})
+}

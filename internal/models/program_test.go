@@ -185,35 +185,39 @@ func TestCompiledRunZeroAllocs(t *testing.T) {
 	x := tensor.NewDense(g.NumVertices(), inFeat)
 	x.FillRandom(rand.New(rand.NewSource(3)), 1)
 
-	for _, shards := range []int{1, 4} {
-		eng := &FixedEngine{
-			EngineName:   "fixed-test",
-			Dev:          gpu.V100(),
-			AggrSchedule: core.DefaultSchedule,
-			MsgCSchedule: core.DefaultSchedule,
-			Fuses:        true,
-			Compute:      core.NewShardedParallelBackend(1, shards),
-		}
-		for _, m := range All() {
-			cp, err := CompileModel(m, g, inFeat, classes, eng)
-			if err != nil {
-				t.Fatal(err)
+	defer program.SetParallelSteps(false)
+	for _, parallel := range []bool{false, true} {
+		program.SetParallelSteps(parallel)
+		for _, shards := range []int{1, 4} {
+			eng := &FixedEngine{
+				EngineName:   "fixed-test",
+				Dev:          gpu.V100(),
+				AggrSchedule: core.DefaultSchedule,
+				MsgCSchedule: core.DefaultSchedule,
+				Fuses:        true,
+				Compute:      core.NewShardedParallelBackend(1, shards),
 			}
-			if shards > 1 && cp.Stats().Shards < 2 {
-				t.Fatalf("%s: shards=%d compiled without a sharded lowering (stats: %d)",
-					m.Name(), shards, cp.Stats().Shards)
-			}
-			if _, err := cp.Run(x); err != nil { // warm up
-				t.Fatal(err)
-			}
-			allocs := testing.AllocsPerRun(10, func() {
-				if _, err := cp.Run(x); err != nil {
+			for _, m := range All() {
+				cp, err := CompileModel(m, g, inFeat, classes, eng)
+				if err != nil {
 					t.Fatal(err)
 				}
-			})
-			if allocs != 0 {
-				t.Errorf("%s shards=%d: steady-state Run allocates %.1f objects/run, want 0",
-					m.Name(), shards, allocs)
+				if shards > 1 && cp.Stats().Shards < 2 {
+					t.Fatalf("%s: shards=%d compiled without a sharded lowering (stats: %d)",
+						m.Name(), shards, cp.Stats().Shards)
+				}
+				if _, err := cp.Run(x); err != nil { // warm up
+					t.Fatal(err)
+				}
+				allocs := testing.AllocsPerRun(10, func() {
+					if _, err := cp.Run(x); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("%s shards=%d parallel=%v: steady-state Run allocates %.1f objects/run, want 0",
+						m.Name(), shards, parallel, allocs)
+				}
 			}
 		}
 	}

@@ -1,0 +1,355 @@
+package program
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Step-effect dependence analysis: every compiled step's reads and writes
+// resolve to arena intervals at compile time (the buffer plan fixed the slot
+// of every value, and the arena fixed the offset of every slot), so the
+// compiler can build the step-dependence DAG — true, anti and output deps
+// from interval overlap, plus scratch-conflict edges between kernels bound
+// to the same sharded-scratch block — and schedule the steps into waves:
+// topological levels whose members are provably independent and may execute
+// concurrently. The schedule is verified mandatorily (analysis.VerifyWaves,
+// rules step-deps-sound and wave-legal) before Compile returns, extending
+// the "an illegal plan is unrepresentable as a successful compile"
+// discipline to the parallel schedule itself.
+//
+// Run-time: when SetParallelSteps(true) is in effect and the program has at
+// least one wave wider than one step, RunCtx dispatches each wave onto a
+// bounded, pre-spawned, process-wide step-worker pool and barriers between
+// waves. Programs whose every wave has width 1 (a pure chain) keep the
+// sequential loop — the schedule proves there is nothing to overlap.
+
+// maxShardScratchBlocks caps how many copies of the shared sharded-scratch
+// block a program allocates to let same-wave sharded kernels run
+// concurrently. Scratch users beyond the cap in one wave share a block and
+// are serialized by scratch-conflict edges instead.
+const maxShardScratchBlocks = 4
+
+// maxStepWorkers bounds the process-wide step-worker pool.
+const maxStepWorkers = 8
+
+// parallelSteps is the process-wide wave-execution default, set by the
+// CLIs' -parallel-steps flag. Off by default: sequential execution remains
+// the baseline; the wave schedule is computed and verified either way.
+var parallelSteps atomic.Bool
+
+// SetParallelSteps enables or disables wave-parallel step execution for
+// subsequently started runs (compiled programs always carry their verified
+// wave schedule; the flag only selects the execution strategy).
+func SetParallelSteps(on bool) { parallelSteps.Store(on) }
+
+// ParallelSteps reports whether wave-parallel step execution is enabled.
+func ParallelSteps() bool { return parallelSteps.Load() }
+
+// valueInterval resolves value v to its arena effect interval. Constants
+// (which own their recorded storage), absent operands and unplanned values
+// have no interval — they cannot carry a step hazard.
+func (cp *CompiledProgram) valueInterval(v ValueID) (analysis.Interval, bool) {
+	if v == NoValue || int(v) >= len(cp.prog.Values) {
+		return analysis.Interval{}, false
+	}
+	val := cp.prog.Values[v]
+	if val.Const {
+		return analysis.Interval{}, false
+	}
+	s := cp.plan.Assign[v]
+	if s < 0 || s >= len(cp.slotOffsets) {
+		return analysis.Interval{}, false
+	}
+	rows := cp.prog.RowsOf(v, cp.g.NumVertices(), cp.g.NumEdges())
+	return analysis.Interval{Off: cp.slotOffsets[s], Len: rows * val.Cols}, true
+}
+
+// stepEffects derives every step's read/write/scratch effect sets. The
+// slices are fresh on every call, so the verification bridge can hand them
+// to corruption points without exposing the compiled artifacts.
+func (cp *CompiledProgram) stepEffects() []analysis.StepEffects {
+	effs := make([]analysis.StepEffects, len(cp.steps))
+	for i := range cp.steps {
+		st := &cp.steps[i]
+		e := analysis.StepEffects{Name: st.name, ScratchID: int(st.scratch)}
+		if iv, ok := cp.valueInterval(st.vx); ok {
+			e.Reads = append(e.Reads, iv)
+		}
+		if iv, ok := cp.valueInterval(st.vy); ok {
+			e.Reads = append(e.Reads, iv)
+		}
+		if iv, ok := cp.valueInterval(st.vout); ok {
+			e.Writes = append(e.Writes, iv)
+		}
+		effs[i] = e
+	}
+	return effs
+}
+
+// intervalsOverlap reports whether any range of a intersects any of b.
+func intervalsOverlap(a, b []analysis.Interval) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Len > 0 && y.Len > 0 && x.Off < y.Off+y.Len && y.Off < x.Off+x.Len {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildStepDeps constructs the step-dependence DAG over the effect sets:
+// for every ordered pair, a true dep where j reads what i wrote, an anti
+// dep where j overwrites what i reads, an output dep where both write the
+// same storage, and a scratch edge where both kernels share a scratch
+// block. All hazard edges are kept (no transitive reduction) so the
+// verifier's edge-presence rule is exact.
+func buildStepDeps(effs []analysis.StepEffects) []analysis.DepEdge {
+	var edges []analysis.DepEdge
+	for i := range effs {
+		for j := i + 1; j < len(effs); j++ {
+			a, b := &effs[i], &effs[j]
+			if intervalsOverlap(a.Writes, b.Reads) {
+				edges = append(edges, analysis.DepEdge{From: i, To: j, Kind: analysis.DepTrue})
+			}
+			if intervalsOverlap(a.Reads, b.Writes) {
+				edges = append(edges, analysis.DepEdge{From: i, To: j, Kind: analysis.DepAnti})
+			}
+			if intervalsOverlap(a.Writes, b.Writes) {
+				edges = append(edges, analysis.DepEdge{From: i, To: j, Kind: analysis.DepOutput})
+			}
+			if a.ScratchID >= 0 && a.ScratchID == b.ScratchID {
+				edges = append(edges, analysis.DepEdge{From: i, To: j, Kind: analysis.DepScratch})
+			}
+		}
+	}
+	return edges
+}
+
+// computeWaves assigns each step its longest-path level in the DAG and
+// groups steps by level: wave w holds every step whose deepest dependence
+// chain has length w. Steps are in execution order, and every edge points
+// forward, so one pass in index order finalizes the levels.
+func computeWaves(n int, edges []analysis.DepEdge) [][]int {
+	if n == 0 {
+		return nil
+	}
+	preds := make([][]int, n)
+	for _, e := range edges {
+		preds[e.To] = append(preds[e.To], e.From)
+	}
+	level := make([]int, n)
+	maxLevel := 0
+	for j := 0; j < n; j++ {
+		for _, f := range preds[j] {
+			if level[f]+1 > level[j] {
+				level[j] = level[f] + 1
+			}
+		}
+		if level[j] > maxLevel {
+			maxLevel = level[j]
+		}
+	}
+	waves := make([][]int, maxLevel+1)
+	for j := 0; j < n; j++ {
+		waves[level[j]] = append(waves[level[j]], j)
+	}
+	return waves
+}
+
+// assignShardScratch replaces the former single shared sharded-scratch
+// block with the analyzer's verdict: scratch-using kernels scheduled into
+// the same data-dependence wave get distinct scratch blocks (duplicated, up
+// to maxShardScratchBlocks copies) so they may run concurrently; users
+// sharing a block — different waves, or same-wave overflow past the cap —
+// are serialized by the scratch-conflict edges buildStepDeps derives from
+// the block ids. Sequential execution is unaffected either way: distinct
+// blocks are always safe, and the kernels re-initialise their scratch each
+// Run, so the zero-alloc steady state is untouched.
+func (cp *CompiledProgram) assignShardScratch(scratchFloats int) {
+	dataWaves := computeWaves(len(cp.steps), buildStepDeps(cp.stepEffects()))
+	waveOf := make([]int, len(cp.steps))
+	for w, wave := range dataWaves {
+		for _, s := range wave {
+			waveOf[s] = w
+		}
+	}
+	perWave := make(map[int]int)
+	blocks := 0
+	for i := range cp.steps {
+		sl, ok := cp.steps[i].kern.(core.ShardedLowering)
+		if !ok || sl.ShardScratchFloats() == 0 {
+			continue
+		}
+		c := perWave[waveOf[i]]
+		perWave[waveOf[i]] = c + 1
+		b := c % maxShardScratchBlocks
+		cp.steps[i].scratch = int32(b)
+		if b+1 > blocks {
+			blocks = b + 1
+		}
+	}
+	if blocks == 0 {
+		return
+	}
+	cp.stats.ShardScratchFloats = scratchFloats * blocks
+	scratch := make([][]float32, blocks)
+	for i := range scratch {
+		scratch[i] = make([]float32, scratchFloats)
+	}
+	for i := range cp.steps {
+		if cp.steps[i].scratch < 0 {
+			continue
+		}
+		cp.steps[i].kern.(core.ShardedLowering).BindShardScratch(scratch[cp.steps[i].scratch])
+	}
+}
+
+// buildWaveSchedule computes the authoritative dependence DAG and wave
+// schedule from the final effect sets (scratch blocks included) and folds
+// the shape into the stats.
+func (cp *CompiledProgram) buildWaveSchedule() {
+	cp.depEdges = buildStepDeps(cp.stepEffects())
+	cp.waves = computeWaves(len(cp.steps), cp.depEdges)
+	cp.stats.Waves = len(cp.waves)
+	for _, w := range cp.waves {
+		if len(w) > cp.stats.MaxWaveWidth {
+			cp.stats.MaxWaveWidth = len(w)
+		}
+	}
+}
+
+// Waves exposes the verified wave schedule (step indices per wave) for
+// inspection and tests.
+func (cp *CompiledProgram) Waves() [][]int {
+	out := make([][]int, len(cp.waves))
+	for i, w := range cp.waves {
+		out[i] = append([]int(nil), w...)
+	}
+	return out
+}
+
+// waveTask is one step-execution request dispatched to the shared pool.
+type waveTask struct {
+	cp  *CompiledProgram
+	idx int32
+}
+
+var (
+	stepPoolOnce sync.Once
+	stepTasks    chan waveTask
+)
+
+// stepWorkerPool lazily spawns the bounded, process-wide step-worker set.
+// The workers live for the process (spawned exactly once), so steady-state
+// wave dispatch allocates nothing.
+func stepWorkerPool() chan<- waveTask {
+	stepPoolOnce.Do(func() {
+		n := runtime.NumCPU()
+		if n > maxStepWorkers {
+			n = maxStepWorkers
+		}
+		if n < 2 {
+			n = 2
+		}
+		stepTasks = make(chan waveTask, 4*maxStepWorkers)
+		for i := 0; i < n; i++ {
+			//lint:allow goroutine-accounting -- bounded process-lifetime pool worker, spawned once; every dispatched step is tracked by its run's WaitGroup
+			go stepWorker()
+		}
+	})
+	return stepTasks
+}
+
+// stepWorker drains the shared task channel for the life of the process.
+func stepWorker() {
+	for t := range stepTasks {
+		t.cp.execStep(t.idx)
+	}
+}
+
+// execStep runs one dispatched step of the current wave, converting a step
+// panic into the run's first error so a crashing kernel cannot take the
+// pool (or the process) down with it.
+func (cp *CompiledProgram) execStep(idx int32) {
+	defer cp.waveStepDone(idx)
+	st := &cp.steps[idx]
+	sp := telemetry.StartSpanCtx(cp.wctx, "program", "step", st.label)
+	if err := cp.runStep(cp.wctx, st); err != nil {
+		cp.failWave(err)
+		sp.EndErr(err.Error())
+		return
+	}
+	sp.End()
+}
+
+// waveStepDone recovers a step panic into the run error and releases the
+// wave barrier. Deferred by execStep, so Done runs on every exit path.
+func (cp *CompiledProgram) waveStepDone(idx int32) {
+	if r := recover(); r != nil {
+		cp.failWave(fmt.Errorf("program: step %s panicked: %v", cp.steps[idx].name, r))
+	}
+	cp.wwg.Done()
+}
+
+// failWave records the wave's first error.
+func (cp *CompiledProgram) failWave(err error) {
+	cp.wmu.Lock()
+	if cp.werr == nil {
+		cp.werr = err
+	}
+	cp.wmu.Unlock()
+}
+
+// runWaves executes the verified wave schedule: width-1 waves run inline on
+// this goroutine, wider waves dispatch onto the shared step-worker pool and
+// barrier before the next wave starts. Step spans are siblings parented to
+// the run span (the trace's current parent is left at the run span —
+// concurrent steps cannot take turns mutating it), and ctx is checked
+// between waves with kernels honouring it inside a wave. Steady state
+// allocates nothing: tasks are value structs on a pre-made channel, and the
+// barrier is the program's reusable WaitGroup.
+func (cp *CompiledProgram) runWaves(ctx context.Context) error {
+	tasks := stepWorkerPool()
+	cp.wctx = ctx
+	cp.werr = nil
+	done := ctx.Done()
+	for _, wave := range cp.waves {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		if len(wave) == 1 {
+			st := &cp.steps[wave[0]]
+			sp := telemetry.StartSpanCtx(ctx, "program", "step", st.label)
+			if err := cp.runStep(ctx, st); err != nil {
+				sp.EndErr(err.Error())
+				return err
+			}
+			sp.End()
+			continue
+		}
+		cp.wwg.Add(len(wave))
+		for _, idx := range wave {
+			tasks <- waveTask{cp: cp, idx: int32(idx)}
+		}
+		cp.wwg.Wait()
+		cp.wmu.Lock()
+		err := cp.werr
+		cp.wmu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
